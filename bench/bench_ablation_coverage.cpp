@@ -1,0 +1,47 @@
+// Ablation over the ECC coverage policy during function execution.  The
+// paper covers function inputs (checked before use, their cells' parity
+// canceled when recycled) and outputs (updated after each critical write);
+// kOutputsOnly shows how much of the Table I overhead each part causes.
+#include <iostream>
+
+#include "arch/params.hpp"
+#include "bench_circuits/circuits.hpp"
+#include "simpler/ecc_schedule.hpp"
+#include "simpler/mapper.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pimecc;
+
+  arch::ArchParams params;
+  params.num_pcs = 8;  // enough PCs that coverage, not PC stalls, dominates
+  simpler::MapperOptions map_options;
+  map_options.row_width = params.n;
+
+  util::Table table({"Benchmark", "Baseline", "Outputs-only ovh (%)",
+                     "Inputs+outputs ovh (%)", "Cancel ops"});
+  std::vector<double> ratios_out, ratios_both;
+  for (const std::string& name : circuits::circuit_names()) {
+    const circuits::CircuitSpec spec = circuits::build_circuit(name);
+    const simpler::MappedProgram program =
+        simpler::map_to_row(spec.netlist, map_options);
+    const auto outputs_only = simpler::schedule_with_ecc(
+        program, params, simpler::CoveragePolicy::kOutputsOnly);
+    const auto both = simpler::schedule_with_ecc(
+        program, params, simpler::CoveragePolicy::kInputsAndOutputs);
+    ratios_out.push_back(1.0 + outputs_only.overhead_fraction());
+    ratios_both.push_back(1.0 + both.overhead_fraction());
+    table.add_row({name, std::to_string(outputs_only.baseline_cycles),
+                   util::format_sig(outputs_only.overhead_fraction() * 100.0, 4),
+                   util::format_sig(both.overhead_fraction() * 100.0, 4),
+                   std::to_string(both.cancel_ops)});
+  }
+  table.add_row({"Geo. Mean", "",
+                 util::format_sig((util::geometric_mean(ratios_out) - 1.0) * 100.0, 4),
+                 util::format_sig((util::geometric_mean(ratios_both) - 1.0) * 100.0, 4),
+                 ""});
+  std::cout << "Ablation -- ECC coverage policy (n=1020, m=15, k=8)\n\n"
+            << table << '\n';
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation over the number of processing crossbars k (Section IV-A-3 /
+// Table I "PC (#)"): proposed latency for k = 1..8 on every benchmark.
+// Dense-output circuits (dec) keep gaining from more PCs; sparse ones
+// saturate at 2 (the two diagonal-axis passes of a single update).
+#include <iostream>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "bench_circuits/circuits.hpp"
+#include "simpler/ecc_schedule.hpp"
+#include "simpler/mapper.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pimecc;
+
+  arch::ArchParams params;
+  simpler::MapperOptions map_options;
+  map_options.row_width = params.n;
+  const auto policy = simpler::CoveragePolicy::kInputsAndOutputs;
+
+  std::vector<std::string> headers = {"Benchmark", "Baseline"};
+  for (std::size_t k = 1; k <= 8; ++k) headers.push_back("k=" + std::to_string(k));
+  util::Table table(headers);
+
+  for (const std::string& name : circuits::circuit_names()) {
+    const circuits::CircuitSpec spec = circuits::build_circuit(name);
+    const simpler::MappedProgram program =
+        simpler::map_to_row(spec.netlist, map_options);
+    std::vector<std::string> row = {name,
+                                    std::to_string(program.baseline_cycles())};
+    for (std::size_t k = 1; k <= 8; ++k) {
+      arch::ArchParams trial = params;
+      trial.num_pcs = k;
+      row.push_back(std::to_string(
+          simpler::schedule_with_ecc(program, trial, policy).proposed_cycles));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "Ablation -- proposed latency (cycles) vs number of "
+               "processing crossbars k\n\n"
+            << table << '\n';
+  return 0;
+}

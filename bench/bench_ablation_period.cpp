@@ -1,0 +1,33 @@
+// Ablation over the full-memory check period T (Section V-A: "T = 24 hours
+// chosen to have negligible performance impact while still providing
+// adequate reliability").  Shorter periods shrink the per-bit exposure
+// window and raise MTTF; the scrub-bandwidth column shows why arbitrarily
+// small T is not free.
+#include <iostream>
+
+#include "reliability/analytic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pimecc;
+
+  util::Table table({"T (h)", "Baseline MTTF (h)", "Proposed MTTF (h)",
+                     "Improvement (x)", "Scrubs/year"});
+  for (const double t : {1.0, 6.0, 12.0, 24.0, 72.0, 168.0, 720.0}) {
+    rel::ReliabilityQuery query;
+    query.fit_per_bit = 1e-3;
+    query.check_period_hours = t;
+    const double base = rel::evaluate_baseline(query).mttf_hours;
+    const double prop = rel::evaluate_proposed(query).mttf_hours;
+    table.add_row({util::format_sig(t, 4), util::format_sci(base, 3),
+                   util::format_sci(prop, 3), util::format_sci(prop / base, 2),
+                   util::format_sig(24.0 * 365.0 / t, 4)});
+  }
+  std::cout << "Ablation -- full-memory check period T "
+               "(n=1020, m=15, SER=1e-3 FIT/bit)\n\n"
+            << table << '\n'
+            << "Note: the baseline has no scrub; its MTTF depends on T only "
+               "through the worst-case exposure-window assumption shared by "
+               "both designs in the paper's model.\n";
+  return 0;
+}

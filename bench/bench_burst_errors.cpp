@@ -1,0 +1,66 @@
+// Multi-bit-upset experiment (Section II-B refs [7][8]): clustered flips
+// from ion strikes vs the diagonal code.  For each burst shape and length,
+// injects bursts at random anchors, scrubs, and classifies the outcome:
+//   repaired       -- all bits back to golden (burst fit in single-error
+//                     budget per block, e.g. split across blocks)
+//   detected       -- some block flagged uncorrectable (no silent loss)
+//   silent/miscorrected -- data wrong with no uncorrectable flag (the
+//                     failure mode ECC exists to prevent)
+// Structural claim measured here: in-block bursts shorter than m never go
+// silent -- adjacent cells cannot share both diagonals.
+#include <iostream>
+
+#include "core/array_code.hpp"
+#include "fault/burst.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pimecc;
+
+  constexpr std::size_t kN = 120;
+  constexpr std::size_t kM = 15;
+  constexpr std::size_t kTrials = 400;
+  util::Rng rng(0xB0057ull);
+
+  util::BitMatrix golden(kN, kN);
+  for (std::size_t r = 0; r < kN; ++r) {
+    for (std::size_t c = 0; c < kN; ++c) golden.set(r, c, rng.bernoulli(0.5));
+  }
+
+  util::Table table({"Shape", "Length", "Repaired", "Detected", "Silent"});
+  for (const fault::BurstShape shape :
+       {fault::BurstShape::kHorizontal, fault::BurstShape::kVertical,
+        fault::BurstShape::kSquare}) {
+    for (const std::size_t length : {2u, 3u, 5u, 9u}) {
+      std::size_t repaired = 0, detected = 0, silent = 0;
+      for (std::size_t t = 0; t < kTrials; ++t) {
+        util::BitMatrix data = golden;
+        ecc::ArrayCode code(kN, kM);
+        code.encode_all(data);
+        fault::inject_burst(rng, data, length, shape);
+        const ecc::ScrubReport report = code.scrub(data);
+        const bool clean = data == golden;
+        if (clean) {
+          ++repaired;
+        } else if (report.uncorrectable > 0) {
+          ++detected;
+        } else {
+          ++silent;
+        }
+      }
+      table.add_row({to_string(shape), std::to_string(length),
+                     std::to_string(repaired), std::to_string(detected),
+                     std::to_string(silent)});
+    }
+  }
+  std::cout << "Burst (multi-bit upset) injection vs the diagonal code "
+               "(n=120, m=15, " << kTrials << " trials per point)\n\n"
+            << table << '\n'
+            << "Bursts shorter than m never corrupt silently: adjacent "
+               "cells cannot share both wrap-around diagonals.  Bursts "
+               "split across block boundaries can even repair fully (one "
+               "error per block).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces the Section III / Figure 2 motivating comparison: the cost of
+// bringing check bits up to date after one maximally-parallel MAGIC
+// operation, for horizontally-grouped parity vs the proposed wrap-around
+// diagonal parity.
+//
+// A column-parallel operation (Figure 1(b)) rewrites an entire row at once.
+// Horizontal parity then needs Theta(n) data-bit reads (a whole group
+// changed under each spanned check bit), while the diagonal placement
+// guarantees each check bit saw at most one changed data bit, so one
+// fixed-length protocol (2 transfers + XOR3 + write-back) suffices --
+// Theta(1) in n.
+#include <iostream>
+#include <vector>
+
+#include "core/array_code.hpp"
+#include "core/horizontal_code.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pimecc;
+
+  constexpr std::size_t kBlock = 15;
+  constexpr std::size_t kProtocolCycles = 1 + 1 + 8 + 1;  // old+new+XOR3+wb
+  util::Rng rng(2021);
+
+  util::Table table({"n", "Horizontal: update reads", "Diagonal: update cycles",
+                     "Diagonal touches/diag (max)"});
+  // n must be divisible by both the block size (15) and the horizontal
+  // group size (4).
+  for (const std::size_t n : {std::size_t{60}, std::size_t{120}, std::size_t{300},
+                              std::size_t{480}, std::size_t{1020}}) {
+    util::BitMatrix data(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) data.set(r, c, rng.bernoulli(0.5));
+    }
+    ecc::HorizontalCode horizontal(n, 4);
+    horizontal.encode_all(data);
+    ecc::ArrayCode diagonal(n, kBlock);
+    diagonal.encode_all(data);
+
+    // One column-parallel op rewriting row 0 entirely (worst case: every
+    // bit flips).
+    std::vector<ecc::CellWrite> writes;
+    writes.reserve(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      const bool old_value = data.get(0, c);
+      writes.push_back({0, c, old_value, !old_value});
+    }
+    const std::size_t horizontal_cost = horizontal.update_cost_reads(writes);
+    const bool theta1 = diagonal.writes_touch_each_diagonal_once(writes);
+
+    table.add_row({std::to_string(n), std::to_string(horizontal_cost),
+                   std::to_string(kProtocolCycles), theta1 ? "1" : ">1"});
+  }
+  std::cout << "Figure 2 / Section III -- ECC update cost after one "
+               "column-parallel MAGIC op rewriting a full row\n\n"
+            << table << '\n'
+            << "Horizontal parity scales Theta(n); the diagonal code's "
+               "fixed protocol does not grow with n.\n";
+  return 0;
+}

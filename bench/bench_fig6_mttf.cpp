@@ -1,0 +1,42 @@
+// Reproduces paper Figure 6: 1 GB memory mean-time-to-failure sensitivity
+// to the memristor soft error rate, baseline (no ECC) vs the proposed
+// diagonal-ECC design.  n = 1020, m = 15, full-memory checks every T = 24 h.
+//
+// The paper's headline: at the Flash-like SER of 1e-3 FIT/bit the proposed
+// design improves MTTF by a factor of over 3e8 (and by >8 orders of
+// magnitude across the sweep).
+#include <cmath>
+#include <iostream>
+
+#include "reliability/analytic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pimecc;
+
+  rel::ReliabilityQuery query;  // n=1020, m=15, T=24h, 1 GB
+  const auto sweep = rel::sweep_mttf(query, 1e-5, 1e3, 1);
+
+  util::Table table({"SER (FIT/bit)", "Baseline MTTF (h)", "Proposed MTTF (h)",
+                     "Improvement (x)"});
+  for (const rel::SweepPoint& pt : sweep) {
+    table.add_row({util::format_sci(pt.fit_per_bit, 0),
+                   util::format_sci(pt.baseline_mttf_hours, 3),
+                   util::format_sci(pt.proposed_mttf_hours, 3),
+                   util::format_sci(pt.improvement(), 2)});
+  }
+  std::cout << "Figure 6 -- 1GB memory MTTF vs memristor SER (n=" << query.n
+            << ", m=" << query.m << ", T=" << query.check_period_hours
+            << "h)\n\n"
+            << table << '\n';
+
+  query.fit_per_bit = 1e-3;
+  const double base = rel::evaluate_baseline(query).mttf_hours;
+  const double prop = rel::evaluate_proposed(query).mttf_hours;
+  std::cout << "At the Flash-like SER 1e-3 FIT/bit: baseline "
+            << util::format_sci(base, 3) << " h, proposed "
+            << util::format_sci(prop, 3) << " h -> improvement "
+            << util::format_sci(prop / base, 3)
+            << "x (paper: over 3e8x)\n";
+  return 0;
+}

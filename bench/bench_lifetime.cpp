@@ -1,0 +1,43 @@
+// System-level lifetime simulation: many complete memory lifetimes
+// (continuous error arrivals + periodic scrubs, failure = first block with
+// two errors in one window) measured empirically and compared against the
+// Figure 6 closed form applied to the same (scaled-down) memory.  This
+// validates the full chain p -> block -> crossbar -> memory -> MTTF, not
+// just the per-block term.
+#include <iostream>
+
+#include "reliability/lifetime.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pimecc;
+
+  util::Rng rng(0x11FE7ull);
+  util::Table table({"SER (FIT/bit)", "Empirical MTTF (h)", "Analytic MTTF (h)",
+                     "Ratio", "Failures/Trials"});
+  for (const double fit : {1e3, 3e3, 1e4}) {
+    rel::LifetimeConfig config;
+    config.n = 60;
+    config.m = 15;
+    config.crossbars = 4;
+    config.fit_per_bit = fit;
+    config.scrub_period_hours = 24.0;
+    config.trials = 250;
+    config.max_hours = 24.0 * 100000;
+    const rel::LifetimeResult result = rel::simulate_lifetime(config, rng);
+    const double empirical = result.empirical_mttf_hours(config.max_hours);
+    const double analytic = rel::analytic_mttf_hours(config);
+    table.add_row({util::format_sci(fit, 1), util::format_sci(empirical, 3),
+                   util::format_sci(analytic, 3),
+                   util::format_sig(empirical / analytic, 3),
+                   std::to_string(result.failures) + "/" +
+                       std::to_string(result.trials)});
+  }
+  std::cout << "Whole-memory lifetime simulation vs the Figure 6 closed "
+               "form (4 crossbars of 60x60, m=15, T=24h)\n\n"
+            << table << '\n'
+            << "Ratios near 1 validate the block->crossbar->memory "
+               "composition, not just the per-block failure term.\n";
+  return 0;
+}

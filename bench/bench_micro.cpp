@@ -1,0 +1,145 @@
+// Simulator microbenchmarks (google-benchmark): throughput of the core
+// primitives -- parallel MAGIC ops, block encode/decode, continuous parity
+// update, the PC XOR3 microprogram, fault injection, and mapping.
+#include <benchmark/benchmark.h>
+
+#include "arch/params.hpp"
+#include "arch/pim_machine.hpp"
+#include "arch/processing_xbar.hpp"
+#include "bench_circuits/circuits.hpp"
+#include "core/array_code.hpp"
+#include "fault/injector.hpp"
+#include "simpler/mapper.hpp"
+#include "util/rng.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace {
+
+using namespace pimecc;
+
+util::BitMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::BitMatrix mat(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) mat.set(r, c, rng.bernoulli(0.5));
+  }
+  return mat;
+}
+
+void BM_MagicNorAllRows(benchmark::State& state) {
+  xbar::Crossbar xb(1020, 1020);
+  const std::size_t ins[2] = {0, 1};
+  for (auto _ : state) {
+    xb.magic_init(xbar::Orientation::kRow, std::span<const std::size_t>(&ins[0], 1));
+    benchmark::DoNotOptimize(
+        xb.magic_nor(xbar::Orientation::kRow, ins, 2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1020);
+}
+BENCHMARK(BM_MagicNorAllRows);
+
+void BM_BlockEncode(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const util::BitMatrix data = random_matrix(m, 7);
+  ecc::BlockCodec codec(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(data, 0, 0));
+  }
+}
+BENCHMARK(BM_BlockEncode)->Arg(5)->Arg(15)->Arg(51);
+
+void BM_ScrubCrossbar(benchmark::State& state) {
+  const std::size_t n = 510;
+  util::BitMatrix data = random_matrix(n, 11);
+  ecc::ArrayCode code(n, 15);
+  code.encode_all(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.scrub(data));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(code.block_count()));
+}
+BENCHMARK(BM_ScrubCrossbar);
+
+void BM_ContinuousUpdate(benchmark::State& state) {
+  const std::size_t n = 1020;
+  util::BitMatrix data = random_matrix(n, 13);
+  ecc::ArrayCode code(n, 15);
+  code.encode_all(data);
+  std::vector<ecc::CellWrite> writes;
+  for (std::size_t r = 0; r < n; ++r) {
+    writes.push_back({r, 3, data.get(r, 3), !data.get(r, 3)});
+  }
+  for (auto _ : state) {
+    code.apply_writes(writes);  // self-inverse over two iterations
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(writes.size()));
+}
+BENCHMARK(BM_ContinuousUpdate);
+
+void BM_ProcessingXbarXor3(benchmark::State& state) {
+  arch::ProcessingXbar pc(1020);
+  util::Rng rng(17);
+  util::BitVector a(1020), b(1020), c(1020);
+  for (std::size_t i = 0; i < 1020; ++i) {
+    a.set(i, rng.bernoulli(0.5));
+    b.set(i, rng.bernoulli(0.5));
+    c.set(i, rng.bernoulli(0.5));
+  }
+  for (auto _ : state) {
+    pc.init_working_cells();
+    pc.load_operand(arch::ProcessingXbar::kA, a);
+    pc.load_operand(arch::ProcessingXbar::kB, b);
+    pc.load_operand(arch::ProcessingXbar::kC, c);
+    pc.compute();
+    benchmark::DoNotOptimize(pc.writeback_values());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1020);
+}
+BENCHMARK(BM_ProcessingXbarXor3);
+
+void BM_ProtectedNor(benchmark::State& state) {
+  arch::ArchParams params;
+  params.n = 255;
+  params.m = 15;
+  arch::PimMachine machine(params);
+  machine.load(random_matrix(params.n, 23));
+  const std::size_t ins[2] = {0, 1};
+  std::size_t out_col = 2;
+  for (auto _ : state) {
+    const std::size_t cols[1] = {out_col};
+    machine.magic_init_rows_protected(cols);
+    machine.magic_nor_rows_protected(ins, out_col);
+    out_col = 2 + (out_col - 1) % (params.n - 2);
+  }
+}
+BENCHMARK(BM_ProtectedNor);
+
+void BM_InjectAndScrub(benchmark::State& state) {
+  util::Rng rng(29);
+  const std::size_t n = 255;
+  util::BitMatrix golden = random_matrix(n, 31);
+  ecc::ArrayCode code(n, 15);
+  for (auto _ : state) {
+    util::BitMatrix data = golden;
+    code.encode_all(data);
+    fault::inject_flips_everywhere(rng, data, code, 8);
+    benchmark::DoNotOptimize(code.scrub(data));
+  }
+}
+BENCHMARK(BM_InjectAndScrub);
+
+void BM_MapCircuit(benchmark::State& state) {
+  const circuits::CircuitSpec spec = circuits::build_circuit("adder");
+  simpler::MapperOptions options;
+  options.row_width = 1020;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simpler::map_to_row(spec.netlist, options));
+  }
+}
+BENCHMARK(BM_MapCircuit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

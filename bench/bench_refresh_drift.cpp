@@ -1,0 +1,95 @@
+// Drift-accumulation experiment (paper Section II-B): oxygen-vacancy drift
+// causes state flips that accumulate over time; the refresh mechanism of
+// [6] periodically resets accumulated drift but "does not address abrupt
+// soft errors" and cannot undo flips that already happened between
+// refreshes.  The paper notes refresh composes with the proposed ECC --
+// this bench quantifies the composition: flips remaining after a one-week
+// horizon under none / refresh-only / ECC-only / both.
+#include <iostream>
+
+#include "core/array_code.hpp"
+#include "fault/models.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pimecc;
+
+struct Scenario {
+  bool refresh = false;
+  bool ecc = false;
+};
+
+std::size_t run_scenario(Scenario scenario, std::uint64_t seed) {
+  constexpr std::size_t kN = 60;
+  constexpr std::size_t kM = 15;
+  constexpr double kHorizonHours = 168.0;     // one week
+  constexpr double kStepHours = 1.0;
+  constexpr double kRefreshPeriod = 12.0;
+  constexpr double kScrubPeriod = 24.0;
+
+  util::Rng rng(seed);
+  util::BitMatrix golden(kN, kN);
+  for (std::size_t r = 0; r < kN; ++r) {
+    for (std::size_t c = 0; c < kN; ++c) golden.set(r, c, rng.bernoulli(0.5));
+  }
+  util::BitMatrix data = golden;
+  ecc::ArrayCode code(kN, kM);
+  code.encode_all(data);
+
+  // Drift: mean 1/h toward a threshold of 30, so unrefreshed cells flip
+  // after ~30 h while a 12 h refresh keeps accumulation far below
+  // threshold.  Abrupt upsets (ion strikes, ~1e4 FIT/bit here) arrive on
+  // top; refresh cannot touch those.
+  fault::DriftModel drift(kN * kN, 1.0, 1.0, 30.0);
+  const fault::ConstantRateModel abrupt(1e4);
+
+  for (double hours = 0.0; hours < kHorizonHours; hours += kStepHours) {
+    for (const std::size_t cell : drift.advance(rng, kStepHours)) {
+      data.flip(cell / kN, cell % kN);
+    }
+    const std::size_t strikes =
+        abrupt.sample_flip_count(rng, kN * kN, kStepHours);
+    for (std::size_t s = 0; s < strikes; ++s) {
+      data.flip(rng.uniform_below(kN), rng.uniform_below(kN));
+    }
+    const double next = hours + kStepHours;
+    if (scenario.refresh &&
+        static_cast<int>(next / kRefreshPeriod) !=
+            static_cast<int>(hours / kRefreshPeriod)) {
+      drift.refresh();
+    }
+    if (scenario.ecc && static_cast<int>(next / kScrubPeriod) !=
+                            static_cast<int>(hours / kScrubPeriod)) {
+      code.scrub(data);
+    }
+  }
+  if (scenario.ecc) code.scrub(data);
+  return data.hamming_distance(golden);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pimecc;
+
+  util::Table table({"Mitigation", "Residual flipped bits (of 3600)"});
+  const Scenario scenarios[4] = {
+      {false, false}, {true, false}, {false, true}, {true, true}};
+  const char* labels[4] = {"none", "refresh only", "ECC only",
+                           "refresh + ECC (the paper's composition)"};
+  for (int s = 0; s < 4; ++s) {
+    // Same seed for comparability (trajectories diverge once mitigation
+    // alters which cells remain live, but magnitudes stay comparable).
+    table.add_row({labels[s], std::to_string(run_scenario(scenarios[s], 77))});
+  }
+  std::cout << "Drift + refresh + ECC composition (60x60 crossbar, m=15, "
+               "1-week horizon, refresh/12h, scrub/24h)\n\n"
+            << table << '\n'
+            << "Refresh suppresses the drift *source*; ECC repairs the "
+               "flips that still slip through (and abrupt upsets refresh "
+               "cannot touch).  Together they dominate either alone.\n";
+  return 0;
+}

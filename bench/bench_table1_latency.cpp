@@ -1,0 +1,81 @@
+// Reproduces paper Table I: per-benchmark latency (clock cycles) of the
+// baseline SIMPLER schedule vs the proposed ECC-extended schedule, the
+// overhead percentage, and the minimal number of processing crossbars.
+//
+// Paper reference values (DAC 2021, Table I) are printed alongside for
+// comparison; see EXPERIMENTS.md for the paper-vs-measured discussion.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "bench_circuits/circuits.hpp"
+#include "simpler/ecc_schedule.hpp"
+#include "simpler/mapper.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct PaperRow {
+  double overhead_pct;
+  int pcs;
+};
+
+const std::map<std::string, PaperRow>& paper_values() {
+  static const std::map<std::string, PaperRow> kPaper = {
+      {"adder", {34.0, 3}},   {"arbiter", {4.05, 2}},  {"bar", {11.3, 4}},
+      {"cavlc", {4.5, 3}},    {"ctrl", {50.0, 5}},     {"dec", {205.8, 8}},
+      {"int2float", {9.83, 3}}, {"max", {21.5, 4}},    {"priority", {20.0, 3}},
+      {"sin", {0.96, 3}},     {"voter", {7.81, 2}},
+  };
+  return kPaper;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pimecc;
+
+  arch::ArchParams params;  // n = 1020, m = 15 (the paper's case study)
+  simpler::MapperOptions map_options;
+  map_options.row_width = params.n;
+  const auto policy = simpler::CoveragePolicy::kInputsAndOutputs;
+
+  util::Table table({"Benchmark", "Baseline", "Proposed", "Overhead (%)",
+                     "PC (#)", "Paper ovh (%)", "Paper PC"});
+  std::vector<double> overhead_ratios;
+  std::vector<double> pc_counts;
+
+  for (const std::string& name : circuits::circuit_names()) {
+    const circuits::CircuitSpec spec = circuits::build_circuit(name);
+    const simpler::MappedProgram program =
+        simpler::map_to_row(spec.netlist, map_options);
+    const std::size_t min_pcs = simpler::find_min_pcs(program, params, policy);
+    arch::ArchParams with_pcs = params;
+    with_pcs.num_pcs = min_pcs;
+    const simpler::EccScheduleResult result =
+        simpler::schedule_with_ecc(program, with_pcs, policy);
+
+    const double overhead_pct = result.overhead_fraction() * 100.0;
+    overhead_ratios.push_back(1.0 + result.overhead_fraction());
+    pc_counts.push_back(static_cast<double>(min_pcs));
+    const PaperRow paper = paper_values().at(name);
+    table.add_row({name, std::to_string(result.baseline_cycles),
+                   std::to_string(result.proposed_cycles),
+                   util::format_sig(overhead_pct, 4), std::to_string(min_pcs),
+                   util::format_sig(paper.overhead_pct, 4),
+                   std::to_string(paper.pcs)});
+  }
+  const double geo_overhead_pct =
+      (util::geometric_mean(overhead_ratios) - 1.0) * 100.0;
+  const double geo_pcs = util::geometric_mean(pc_counts);
+  table.add_row({"Geo. Mean", "", "", util::format_sig(geo_overhead_pct, 4),
+                 util::format_sig(geo_pcs, 3), "26.23", "3.36"});
+
+  std::cout << "Table I -- latency (clock cycles), n=" << params.n
+            << ", m=" << params.m << ", XOR3=" << params.xor3_cycles
+            << " cycles, coverage=inputs+outputs\n\n"
+            << table << '\n';
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces paper Table II: memristor/transistor counts of the proposed
+// architecture for the case study n = 1020, m = 15, k = 3.
+#include <iostream>
+
+#include "arch/device_count.hpp"
+#include "arch/params.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pimecc;
+
+  arch::ArchParams params;
+  params.n = 1020;
+  params.m = 15;
+  params.num_pcs = 3;
+
+  const arch::DeviceCounts counts = arch::count_devices(params);
+
+  util::Table table({"Unit", "# Memristor", "# Transistor", "Expression"});
+  for (const arch::DeviceCountRow& row : counts.rows) {
+    table.add_row({row.unit,
+                   row.memristors == 0 ? "0" : util::format_sci(
+                                                   static_cast<double>(row.memristors), 2),
+                   row.transistors == 0 ? "0" : util::format_sci(
+                                                    static_cast<double>(row.transistors), 2),
+                   row.expression});
+  }
+  table.add_row({"Total",
+                 util::format_sci(static_cast<double>(counts.total_memristors), 2),
+                 util::format_sci(static_cast<double>(counts.total_transistors), 2),
+                 ""});
+
+  std::cout << "Table II -- device counts, n=" << params.n << ", m=" << params.m
+            << ", k=" << params.num_pcs << "\n\n"
+            << table << '\n'
+            << "Memristor overhead over the data array: "
+            << util::format_pct(counts.memristor_overhead_fraction()) << '\n'
+            << "Paper totals: 1.25e6 memristors, 7.55e4 transistors\n";
+  return 0;
+}

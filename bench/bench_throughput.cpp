@@ -1,0 +1,57 @@
+// The title's "high-throughput" claim, quantified: MAGIC executes the same
+// mapped program in every crossbar row simultaneously, so SIMD throughput
+// is rows / cycles.  The ECC mechanism preserves this: the critical-op
+// protocol transfers whole lines, so its cycle cost is independent of how
+// many rows compute.  Functions per kilocycle, baseline vs proposed, as
+// SIMD width grows.
+#include <iostream>
+
+#include "arch/params.hpp"
+#include "bench_circuits/circuits.hpp"
+#include "simpler/ecc_schedule.hpp"
+#include "simpler/mapper.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pimecc;
+
+  arch::ArchParams params;  // n = 1020
+  simpler::MapperOptions options;
+  options.row_width = params.n;
+
+  util::Table table({"Benchmark", "Baseline cyc", "Proposed cyc",
+                     "SIMD width", "Baseline fn/kcyc", "Proposed fn/kcyc",
+                     "Throughput kept"});
+  for (const std::string& name : {std::string("adder"), std::string("bar"),
+                                  std::string("sin")}) {
+    const circuits::CircuitSpec spec = circuits::build_circuit(name);
+    const simpler::MappedProgram program =
+        simpler::map_to_row(spec.netlist, options);
+    const std::size_t min_pcs = simpler::find_min_pcs(
+        program, params, simpler::CoveragePolicy::kInputsAndOutputs);
+    arch::ArchParams with_pcs = params;
+    with_pcs.num_pcs = min_pcs;
+    const simpler::EccScheduleResult sched = simpler::schedule_with_ecc(
+        program, with_pcs, simpler::CoveragePolicy::kInputsAndOutputs);
+    for (const std::size_t rows : {std::size_t{1}, std::size_t{64},
+                                   std::size_t{1020}}) {
+      const double base = static_cast<double>(rows) * 1000.0 /
+                          static_cast<double>(sched.baseline_cycles);
+      const double prop = static_cast<double>(rows) * 1000.0 /
+                          static_cast<double>(sched.proposed_cycles);
+      table.add_row({name, std::to_string(sched.baseline_cycles),
+                     std::to_string(sched.proposed_cycles),
+                     std::to_string(rows), util::format_sig(base, 4),
+                     util::format_sig(prop, 4),
+                     util::format_pct(prop / base)});
+    }
+  }
+  std::cout << "SIMD throughput with and without the ECC mechanism "
+               "(n=1020, m=15, k=min per benchmark)\n\n"
+            << table << '\n'
+            << "The overhead ratio is SIMD-width-independent: the protocol "
+               "moves whole wordlines/bitlines, so one update covers all "
+               "1020 parallel instances at once -- the property Section III "
+               "designed for.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "arch/memory_system.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pimecc::arch {
+
+void MemorySystemParams::validate() const {
+  unit.validate();
+  if (unit_rows == 0 || unit_cols == 0) {
+    throw std::invalid_argument("MemorySystemParams: grid must be non-empty");
+  }
+}
+
+MemorySystem::MemorySystem(const MemorySystemParams& params) : params_(params) {
+  params_.validate();
+  units_.reserve(params_.unit_count());
+  for (std::size_t i = 0; i < params_.unit_count(); ++i) {
+    units_.emplace_back(params_.unit);
+  }
+}
+
+PimMachine& MemorySystem::unit(std::size_t unit_row, std::size_t unit_col) {
+  if (unit_row >= params_.unit_rows || unit_col >= params_.unit_cols) {
+    throw std::out_of_range("MemorySystem::unit: index out of range");
+  }
+  return units_[unit_row * params_.unit_cols + unit_col];
+}
+
+const PimMachine& MemorySystem::unit(std::size_t unit_row,
+                                     std::size_t unit_col) const {
+  return const_cast<MemorySystem*>(this)->unit(unit_row, unit_col);
+}
+
+GlobalAddress MemorySystem::translate(std::uint64_t bit_index) const {
+  if (bit_index >= params_.data_bits()) {
+    throw std::out_of_range("MemorySystem::translate: address out of range");
+  }
+  const std::uint64_t cells_per_unit =
+      static_cast<std::uint64_t>(params_.unit.n) * params_.unit.n;
+  const std::uint64_t unit_index = bit_index / cells_per_unit;
+  const std::uint64_t cell = bit_index % cells_per_unit;
+  GlobalAddress addr;
+  addr.unit_row = static_cast<std::size_t>(unit_index / params_.unit_cols);
+  addr.unit_col = static_cast<std::size_t>(unit_index % params_.unit_cols);
+  addr.row = static_cast<std::size_t>(cell / params_.unit.n);
+  addr.col = static_cast<std::size_t>(cell % params_.unit.n);
+  return addr;
+}
+
+void MemorySystem::load_random(util::Rng& rng) {
+  for (auto& machine : units_) {
+    util::BitMatrix image(params_.unit.n, params_.unit.n);
+    for (std::size_t r = 0; r < params_.unit.n; ++r) {
+      for (std::size_t c = 0; c < params_.unit.n; ++c) {
+        image.set(r, c, rng.bernoulli(0.5));
+      }
+    }
+    machine.load(image);
+  }
+}
+
+std::vector<GlobalAddress> MemorySystem::inject_random_errors(util::Rng& rng,
+                                                              std::size_t count) {
+  if (count > params_.data_bits()) {
+    throw std::invalid_argument("MemorySystem: more errors than data bits");
+  }
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<GlobalAddress> flipped;
+  while (flipped.size() < count) {
+    const std::uint64_t bit = rng.uniform_below(params_.data_bits());
+    if (!chosen.insert(bit).second) continue;
+    const GlobalAddress addr = translate(bit);
+    unit(addr.unit_row, addr.unit_col).inject_data_error(addr.row, addr.col);
+    flipped.push_back(addr);
+  }
+  return flipped;
+}
+
+SystemScrubReport MemorySystem::scrub_all() {
+  SystemScrubReport total;
+  for (auto& machine : units_) {
+    const CheckReport r = machine.scrub();
+    ++total.units_checked;
+    total.blocks_checked += r.blocks_checked;
+    total.corrected_data += r.corrected_data;
+    total.corrected_check += r.corrected_check;
+    total.uncorrectable += r.uncorrectable;
+  }
+  return total;
+}
+
+CheckReport MemorySystem::scrub_tick() {
+  const std::size_t bands = params_.unit.blocks_per_side();
+  const std::size_t unit_index = scrub_cursor_ / bands;
+  const std::size_t band = scrub_cursor_ % bands;
+  scrub_cursor_ = (scrub_cursor_ + 1) % ticks_per_pass();
+  return units_[unit_index].check_block_row(band * params_.unit.m);
+}
+
+DeviceCounts MemorySystem::aggregate_device_counts() const {
+  DeviceCounts counts = count_devices(params_.unit);
+  const std::uint64_t units = params_.unit_count();
+  for (auto& row : counts.rows) {
+    row.memristors *= units;
+    row.transistors *= units;
+  }
+  counts.total_memristors *= units;
+  counts.total_transistors *= units;
+  return counts;
+}
+
+bool MemorySystem::all_consistent() const {
+  for (const auto& machine : units_) {
+    if (!machine.ecc_consistent()) return false;
+  }
+  return true;
+}
+
+}  // namespace pimecc::arch

@@ -1,0 +1,108 @@
+// pimecc -- arch/memory_system.hpp
+//
+// Multi-crossbar memory in the mMPU mold (paper Section II-A: "the overall
+// memory is typically divided into numerous crossbars, connected with
+// CMOS"; the proposed extensions apply to every crossbar).  A MemorySystem
+// is a bank: a grid of independent PimMachine units, each with its own
+// CMEM, plus a global address map and an incremental background-scrub
+// schedule (the paper's periodic full-memory check, spread over time so
+// the per-tick cost stays constant).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/device_count.hpp"
+#include "arch/pim_machine.hpp"
+#include "util/rng.hpp"
+
+namespace pimecc::arch {
+
+/// Grid shape of a bank of crossbar units.
+struct MemorySystemParams {
+  ArchParams unit;              ///< per-crossbar configuration
+  std::size_t unit_rows = 2;    ///< grid height, in units
+  std::size_t unit_cols = 2;    ///< grid width, in units
+
+  void validate() const;
+  [[nodiscard]] std::size_t unit_count() const noexcept {
+    return unit_rows * unit_cols;
+  }
+  [[nodiscard]] std::uint64_t data_bits() const noexcept {
+    return static_cast<std::uint64_t>(unit_count()) * unit.n * unit.n;
+  }
+};
+
+/// Decomposed location of one data bit.
+struct GlobalAddress {
+  std::size_t unit_row = 0;
+  std::size_t unit_col = 0;
+  std::size_t row = 0;
+  std::size_t col = 0;
+  bool operator==(const GlobalAddress&) const noexcept = default;
+};
+
+/// Aggregate of CheckReports across units.
+struct SystemScrubReport {
+  std::size_t units_checked = 0;
+  std::size_t blocks_checked = 0;
+  std::size_t corrected_data = 0;
+  std::size_t corrected_check = 0;
+  std::size_t uncorrectable = 0;
+};
+
+/// A bank of ECC-protected PIM crossbars.
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemorySystemParams& params);
+
+  [[nodiscard]] const MemorySystemParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::size_t unit_count() const noexcept {
+    return params_.unit_count();
+  }
+
+  [[nodiscard]] PimMachine& unit(std::size_t unit_row, std::size_t unit_col);
+  [[nodiscard]] const PimMachine& unit(std::size_t unit_row,
+                                       std::size_t unit_col) const;
+
+  /// Maps a linear data-bit index (row-major across units, then cells) to
+  /// its physical location; throws std::out_of_range past data_bits().
+  [[nodiscard]] GlobalAddress translate(std::uint64_t bit_index) const;
+
+  /// Fills every unit with deterministic pseudo-random data and encodes.
+  void load_random(util::Rng& rng);
+
+  /// Flips `count` distinct uniformly-chosen data bits across the bank.
+  std::vector<GlobalAddress> inject_random_errors(util::Rng& rng,
+                                                  std::size_t count);
+
+  /// Full check of every block of every unit.
+  SystemScrubReport scrub_all();
+
+  /// Incremental background scrub: checks the next block-row of the next
+  /// unit (round-robin) and advances the pointer.  One call is the
+  /// constant-cost "tick" a controller would schedule between computations;
+  /// unit_count * blocks_per_side ticks make one full pass.
+  CheckReport scrub_tick();
+  /// Ticks for one complete pass over the bank.
+  [[nodiscard]] std::size_t ticks_per_pass() const noexcept {
+    return unit_count() * params_.unit.blocks_per_side();
+  }
+
+  /// True iff every unit's CMEM matches its data exactly.
+  [[nodiscard]] bool all_consistent() const;
+
+  /// Aggregate Table II device counts over the whole bank (per-unit counts
+  /// times the unit count; the inter-crossbar CMOS interconnect is outside
+  /// the paper's device model).
+  [[nodiscard]] DeviceCounts aggregate_device_counts() const;
+
+ private:
+  MemorySystemParams params_;
+  std::vector<PimMachine> units_;
+  std::size_t scrub_cursor_ = 0;
+};
+
+}  // namespace pimecc::arch

@@ -1,0 +1,80 @@
+#include "arch/pc_controller.hpp"
+
+#include <stdexcept>
+
+namespace pimecc::arch {
+
+PcController::PcController(std::size_t lanes) : xbar_(lanes) {}
+
+void PcController::start(util::BitVector old_line, util::BitVector check_line,
+                         util::BitVector new_line) {
+  if (busy()) {
+    throw std::logic_error("PcController::start: FSM is busy");
+  }
+  const std::size_t lanes = xbar_.lanes();
+  if (old_line.size() != lanes || check_line.size() != lanes ||
+      new_line.size() != lanes) {
+    throw std::invalid_argument("PcController::start: operand length mismatch");
+  }
+  pending_old_ = std::move(old_line);
+  pending_check_ = std::move(check_line);
+  pending_new_ = std::move(new_line);
+  state_ = PcState::kInit;
+}
+
+std::optional<util::BitVector> PcController::step() {
+  std::optional<util::BitVector> writeback;
+  switch (state_) {
+    case PcState::kIdle:
+    case PcState::kDone:
+      return std::nullopt;  // no clocking work while idle
+    case PcState::kInit:
+      xbar_.init_working_cells();
+      break;
+    case PcState::kLoadOld:
+      xbar_.load_operand(ProcessingXbar::kA, pending_old_);
+      break;
+    case PcState::kLoadCheck:
+      xbar_.load_operand(ProcessingXbar::kC, pending_check_);
+      break;
+    case PcState::kLoadNew:
+      xbar_.load_operand(ProcessingXbar::kB, pending_new_);
+      break;
+    case PcState::kNor1:
+      // The microprogram's NOR sequence is fixed; the data path executes
+      // all eight gates through ProcessingXbar::compute() on the first NOR
+      // state, and the FSM spends the remaining seven states clocking
+      // through the same schedule (one gate per cycle in hardware).
+      xbar_.compute();
+      break;
+    case PcState::kNor2:
+    case PcState::kNor3:
+    case PcState::kNor4:
+    case PcState::kNor5:
+    case PcState::kNor6:
+    case PcState::kNor7:
+    case PcState::kNor8:
+      break;
+    case PcState::kWriteBack:
+      writeback = xbar_.writeback_values();
+      break;
+  }
+  ++cycles_;
+  state_ = next(state_);
+  return writeback;
+}
+
+PcController::RunResult PcController::run_to_completion() {
+  if (!busy()) {
+    throw std::logic_error("PcController::run_to_completion: FSM not armed");
+  }
+  RunResult result;
+  const std::uint64_t start_cycles = cycles_;
+  while (busy()) {
+    if (auto wb = step()) result.updated_check = std::move(*wb);
+  }
+  result.cycles = cycles_ - start_cycles;
+  return result;
+}
+
+}  // namespace pimecc::arch

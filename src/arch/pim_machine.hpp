@@ -1,0 +1,139 @@
+// pimecc -- arch/pim_machine.hpp
+//
+// The top-level public API: one MEM crossbar with the paper's full ECC
+// extension attached (Figure 3) -- check-bit crossbars, processing
+// crossbars, checking crossbar, barrel shifters and controllers -- operated
+// functionally and bit-accurately.
+//
+// Every stateful-logic operation issued through this facade runs the
+// Section IV critical-operation protocol:
+//   1. cancel the old data's effect on the check bits,
+//   2. perform the MAGIC operation in the MEM,
+//   3. add the new data's effect on the check bits,
+// with both steps 1 and 3 realized as genuine XOR3 microprograms in the
+// processing crossbars, fed through the barrel shifters.  Soft errors can
+// be injected at any point; checks before use and periodic scrubs then
+// detect/correct them exactly as the architecture would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "arch/check_memory.hpp"
+#include "arch/params.hpp"
+#include "arch/processing_xbar.hpp"
+#include "arch/scheduler.hpp"
+#include "arch/shifter.hpp"
+#include "core/array_code.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/bitvector.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace pimecc::arch {
+
+/// Outcome of one ECC check over a band of blocks.
+struct CheckReport {
+  std::size_t blocks_checked = 0;
+  std::size_t corrected_data = 0;
+  std::size_t corrected_check = 0;
+  std::size_t uncorrectable = 0;
+
+  [[nodiscard]] bool all_clean() const noexcept {
+    return corrected_data + corrected_check + uncorrectable == 0;
+  }
+};
+
+/// Cycle accounting split by unit, in the spirit of the paper's latency
+/// model: MEM cycles serialize with computation; CMEM cycles overlap except
+/// where the protocol forces ordering.
+struct MachineCounters {
+  std::uint64_t mem_cycles = 0;
+  std::uint64_t cmem_cycles = 0;
+  std::uint64_t critical_ops = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t scrubs = 0;
+};
+
+/// MEM + CMEM processing-in-memory unit with diagonal-parity ECC.
+class PimMachine {
+ public:
+  explicit PimMachine(const ArchParams& params);
+
+  [[nodiscard]] const ArchParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t n() const noexcept { return params_.n; }
+  [[nodiscard]] std::size_t m() const noexcept { return params_.m; }
+
+  // --- data movement -------------------------------------------------------
+  /// Loads an n x n image into the MEM and (re)encodes all check bits.
+  void load(const util::BitMatrix& image);
+  /// Reads the MEM contents (no ECC check; use check/scrub for that).
+  [[nodiscard]] const util::BitMatrix& data() const noexcept {
+    return mem_.contents();
+  }
+  /// Controller write of one full row with continuous check-bit update.
+  void write_row_protected(std::size_t r, const util::BitVector& values);
+
+  // --- protected stateful logic -------------------------------------------
+  /// Row-parallel MAGIC NOR with the critical-operation protocol:
+  /// out(r, out_col) = NOR_i in(r, in_cols[i]) for each selected row.
+  /// Output cells must have been initialized (magic_init_protected).
+  /// Empty `rows` selects all rows.
+  void magic_nor_rows_protected(std::span<const std::size_t> in_cols,
+                                std::size_t out_col,
+                                std::span<const std::size_t> rows = {});
+  /// Column-parallel variant: out(out_row, c) = NOR_i in(in_rows[i], c).
+  void magic_nor_cols_protected(std::span<const std::size_t> in_rows,
+                                std::size_t out_row,
+                                std::span<const std::size_t> cols = {});
+  /// Initialization (to LRS) of whole lines, ECC-maintained: for
+  /// row-orientation, initializes the given columns across all rows.
+  void magic_init_rows_protected(std::span<const std::size_t> cols);
+  void magic_init_cols_protected(std::span<const std::size_t> rows);
+
+  // --- checking ------------------------------------------------------------
+  /// The paper's before-use check: verifies (and repairs) all blocks of the
+  /// block-row containing `row`.
+  CheckReport check_block_row(std::size_t row);
+  /// Verifies all blocks of the block-column containing `col`.
+  CheckReport check_block_col(std::size_t col);
+  /// Periodic full-memory check.
+  CheckReport scrub();
+
+  /// True iff the CMEM check bits are exactly consistent with the MEM data
+  /// (golden-model invariant used heavily in tests).
+  [[nodiscard]] bool ecc_consistent() const;
+
+  // --- fault injection hooks ------------------------------------------------
+  /// Flips one data bit (simulated soft error).
+  void inject_data_error(std::size_t r, std::size_t c);
+  /// Flips one check bit.
+  void inject_check_error(Axis axis, std::size_t diagonal, ecc::BlockIndex block);
+
+  [[nodiscard]] const MachineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const CheckMemory& check_memory() const noexcept { return cmem_; }
+
+ private:
+  /// Runs protocol steps 1+3 for a line write: old/new line images are
+  /// routed through the shifters, XOR3'ed against the stored check bits in
+  /// the processing crossbars, and written back.
+  /// `along_rows` true means the written line is a column (row-parallel op).
+  void update_check_bits_for_line(bool along_rows, std::size_t line,
+                                  const util::BitVector& old_line,
+                                  const util::BitVector& new_line);
+  CheckReport check_block_band(bool row_band, std::size_t band);
+  void repair_block(ecc::BlockIndex block, const ecc::DecodeResult& result);
+
+  ArchParams params_;
+  xbar::Crossbar mem_;
+  CheckMemory cmem_;
+  ProcessingXbar pc_leading_;
+  ProcessingXbar pc_counter_;
+  CheckingXbar checker_;
+  ShifterBank shifters_;
+  ecc::BlockCodec codec_;
+  MachineCounters counters_;
+};
+
+}  // namespace pimecc::arch

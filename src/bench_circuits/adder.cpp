@@ -1,0 +1,37 @@
+// Benchmark `adder`: 128+128-bit ripple-carry addition (EPFL shape:
+// 256 PI / 129 PO).  Each full adder is XOR3 (8 NORs) + majority (4 NORs).
+#include "bench_circuits/circuits.hpp"
+
+#include "bench_circuits/ref_util.hpp"
+#include "simpler/logic.hpp"
+
+namespace pimecc::circuits {
+
+CircuitSpec build_adder() {
+  constexpr std::size_t kWidth = 128;
+  CircuitSpec spec;
+  spec.name = "adder";
+  simpler::Netlist netlist("adder");
+  simpler::LogicBuilder b(netlist);
+  const simpler::Bus a = b.input_bus(kWidth);
+  const simpler::Bus bb = b.input_bus(kWidth);
+  const simpler::AddResult r = b.ripple_add(a, bb, b.constant(false));
+  b.output_bus(r.sum);
+  b.output(r.carry_out);
+  spec.netlist = std::move(netlist);
+  spec.reference = [](const util::BitVector& in) {
+    util::BitVector out(kWidth + 1);
+    bool carry = false;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      const bool x = in.get(i);
+      const bool y = in.get(kWidth + i);
+      out.set(i, x ^ y ^ carry);
+      carry = (x && y) || (carry && (x || y));
+    }
+    out.set(kWidth, carry);
+    return out;
+  };
+  return spec;
+}
+
+}  // namespace pimecc::circuits

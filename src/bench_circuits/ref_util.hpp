@@ -1,0 +1,32 @@
+// pimecc -- bench_circuits/ref_util.hpp
+//
+// Small helpers shared by the reference models: BitVector <-> integer
+// packing (LSB-first, matching Bus bit order).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "util/bitvector.hpp"
+
+namespace pimecc::circuits {
+
+/// Reads up to 64 bits starting at `offset` as an LSB-first integer.
+[[nodiscard]] inline std::uint64_t get_bits(const util::BitVector& v,
+                                            std::size_t offset, std::size_t width) {
+  std::uint64_t x = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    if (v.get(offset + i)) x |= std::uint64_t{1} << i;
+  }
+  return x;
+}
+
+/// Writes `width` bits of `value` (LSB-first) starting at `offset`.
+inline void set_bits(util::BitVector& v, std::size_t offset, std::size_t width,
+                     std::uint64_t value) {
+  for (std::size_t i = 0; i < width; ++i) {
+    v.set(offset + i, ((value >> i) & 1u) != 0);
+  }
+}
+
+}  // namespace pimecc::circuits

@@ -1,0 +1,106 @@
+#include "core/array_code.hpp"
+
+#include <stdexcept>
+
+namespace pimecc::ecc {
+
+ArrayCode::ArrayCode(std::size_t n, std::size_t m) : n_(n), codec_(m) {
+  if (n == 0 || n % m != 0) {
+    throw std::invalid_argument("ArrayCode: n must be a positive multiple of m");
+  }
+  blocks_.assign(block_count(), CheckBits(m));
+}
+
+std::size_t ArrayCode::flat_index(BlockIndex b) const {
+  if (b.block_row >= blocks_per_side() || b.block_col >= blocks_per_side()) {
+    throw std::out_of_range("ArrayCode: block index out of range");
+  }
+  return b.block_row * blocks_per_side() + b.block_col;
+}
+
+void ArrayCode::require_shape(const util::BitMatrix& data) const {
+  if (data.rows() != n_ || data.cols() != n_) {
+    throw std::invalid_argument("ArrayCode: data matrix must be n x n");
+  }
+}
+
+const CheckBits& ArrayCode::check_bits(BlockIndex b) const {
+  return blocks_[flat_index(b)];
+}
+
+CheckBits& ArrayCode::check_bits_mutable(BlockIndex b) {
+  return blocks_[flat_index(b)];
+}
+
+void ArrayCode::encode_all(const util::BitMatrix& data) {
+  require_shape(data);
+  for (std::size_t br = 0; br < blocks_per_side(); ++br) {
+    for (std::size_t bc = 0; bc < blocks_per_side(); ++bc) {
+      blocks_[br * blocks_per_side() + bc] = codec_.encode(data, br * m(), bc * m());
+    }
+  }
+}
+
+void ArrayCode::apply_writes(const std::vector<CellWrite>& writes) {
+  for (const CellWrite& w : writes) {
+    if (w.r >= n_ || w.c >= n_) {
+      throw std::out_of_range("ArrayCode::apply_writes: cell out of range");
+    }
+    CheckBits& check = blocks_[flat_index(block_of(w.r, w.c))];
+    codec_.update_for_write(check, w.r % m(), w.c % m(), w.old_value, w.new_value);
+  }
+}
+
+DecodeResult ArrayCode::check_block(util::BitMatrix& data, BlockIndex b) {
+  require_shape(data);
+  return codec_.check_and_correct(data, b.block_row * m(), b.block_col * m(),
+                                  blocks_[flat_index(b)]);
+}
+
+ScrubReport ArrayCode::scrub(util::BitMatrix& data) {
+  require_shape(data);
+  ScrubReport report;
+  for (std::size_t br = 0; br < blocks_per_side(); ++br) {
+    for (std::size_t bc = 0; bc < blocks_per_side(); ++bc) {
+      const DecodeResult r = check_block(data, {br, bc});
+      ++report.blocks_checked;
+      switch (r.status) {
+        case DecodeStatus::kClean: ++report.clean; break;
+        case DecodeStatus::kCorrectedData: ++report.corrected_data; break;
+        case DecodeStatus::kCorrectedCheck: ++report.corrected_check; break;
+        case DecodeStatus::kDetectedUncorrectable: ++report.uncorrectable; break;
+      }
+    }
+  }
+  return report;
+}
+
+bool ArrayCode::consistent_with(const util::BitMatrix& data) const {
+  require_shape(data);
+  for (std::size_t br = 0; br < blocks_per_side(); ++br) {
+    for (std::size_t bc = 0; bc < blocks_per_side(); ++bc) {
+      const CheckBits fresh = codec_.encode(data, br * m(), bc * m());
+      if (!(fresh == blocks_[br * blocks_per_side() + bc])) return false;
+    }
+  }
+  return true;
+}
+
+bool ArrayCode::writes_touch_each_diagonal_once(
+    const std::vector<CellWrite>& writes) const {
+  // touched[block][axis][diag] as a flat bitmap.
+  std::vector<bool> touched(block_count() * 2 * m(), false);
+  for (const CellWrite& w : writes) {
+    if (w.r >= n_ || w.c >= n_) return false;
+    const std::size_t block = flat_index(block_of(w.r, w.c));
+    const DiagonalPair d = codec_.geometry().diagonals(w.r % m(), w.c % m());
+    const std::size_t lead_slot = (block * 2 + 0) * m() + d.leading;
+    const std::size_t cnt_slot = (block * 2 + 1) * m() + d.counter;
+    if (touched[lead_slot] || touched[cnt_slot]) return false;
+    touched[lead_slot] = true;
+    touched[cnt_slot] = true;
+  }
+  return true;
+}
+
+}  // namespace pimecc::ecc

@@ -1,0 +1,97 @@
+// pimecc -- core/array_code.hpp
+//
+// Whole-crossbar diagonal ECC state: an n x n array divided into an
+// imaginary grid of (n/m) x (n/m) blocks of size m x m, with CheckBits per
+// block (paper Section III).  This is the *functional* (golden) model of the
+// Check Memory contents; src/arch models where those bits physically live
+// and what each update costs in cycles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/block_code.hpp"
+#include "util/bitmatrix.hpp"
+
+namespace pimecc::ecc {
+
+/// Grid coordinates of a block.
+struct BlockIndex {
+  std::size_t block_row = 0;  ///< index of the block band, top to bottom
+  std::size_t block_col = 0;  ///< index of the block band, left to right
+  bool operator==(const BlockIndex&) const noexcept = default;
+};
+
+/// One cell write observed by the ECC layer (old value -> new value).
+struct CellWrite {
+  std::size_t r = 0;  ///< absolute row in the n x n array
+  std::size_t c = 0;  ///< absolute column
+  bool old_value = false;
+  bool new_value = false;
+};
+
+/// Summary of a whole-array scrub.
+struct ScrubReport {
+  std::size_t blocks_checked = 0;
+  std::size_t clean = 0;
+  std::size_t corrected_data = 0;
+  std::size_t corrected_check = 0;
+  std::size_t uncorrectable = 0;
+};
+
+/// Diagonal-parity ECC over an n x n bit array (n divisible by odd m).
+class ArrayCode {
+ public:
+  /// Throws std::invalid_argument unless m is odd and divides n.
+  ArrayCode(std::size_t n, std::size_t m);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t m() const noexcept { return codec_.m(); }
+  [[nodiscard]] std::size_t blocks_per_side() const noexcept { return n_ / m(); }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_per_side() * blocks_per_side();
+  }
+  [[nodiscard]] const BlockCodec& codec() const noexcept { return codec_; }
+
+  [[nodiscard]] BlockIndex block_of(std::size_t r, std::size_t c) const noexcept {
+    return {r / m(), c / m()};
+  }
+
+  [[nodiscard]] const CheckBits& check_bits(BlockIndex b) const;
+  [[nodiscard]] CheckBits& check_bits_mutable(BlockIndex b);
+
+  /// Recomputes every block's check bits from `data` (n x n).
+  void encode_all(const util::BitMatrix& data);
+
+  /// Continuous update for a batch of cell writes (one parallel MAGIC
+  /// operation).  Θ(1) parity work per check bit -- asserted by tests via
+  /// verify_theta1_property().
+  void apply_writes(const std::vector<CellWrite>& writes);
+
+  /// Checks one block against `data`, correcting single errors in place
+  /// (data bit in `data`, check bit in this object).
+  DecodeResult check_block(util::BitMatrix& data, BlockIndex b);
+
+  /// Checks every block (the paper's periodic full-memory check).
+  ScrubReport scrub(util::BitMatrix& data);
+
+  /// True iff every check bit matches `data` exactly.
+  [[nodiscard]] bool consistent_with(const util::BitMatrix& data) const;
+
+  /// Section III invariant: within any single row-parallel or
+  /// column-parallel operation, each (block, diagonal) is written at most
+  /// once.  Returns false if `writes` violates it (meaning the batch could
+  /// not have come from one parallel MAGIC op on distinct cells).
+  [[nodiscard]] bool writes_touch_each_diagonal_once(
+      const std::vector<CellWrite>& writes) const;
+
+ private:
+  [[nodiscard]] std::size_t flat_index(BlockIndex b) const;
+  void require_shape(const util::BitMatrix& data) const;
+
+  std::size_t n_;
+  BlockCodec codec_;
+  std::vector<CheckBits> blocks_;  // row-major over the block grid
+};
+
+}  // namespace pimecc::ecc

@@ -1,0 +1,104 @@
+#include "core/block_code.hpp"
+
+#include <stdexcept>
+
+namespace pimecc::ecc {
+
+void BlockCodec::require_window(const util::BitMatrix& data, std::size_t row0,
+                                std::size_t col0) const {
+  if (row0 + m() > data.rows() || col0 + m() > data.cols()) {
+    throw std::out_of_range("BlockCodec: block window exceeds matrix bounds");
+  }
+}
+
+CheckBits BlockCodec::encode(const util::BitMatrix& data, std::size_t row0,
+                             std::size_t col0) const {
+  require_window(data, row0, col0);
+  CheckBits check(m());
+  for (std::size_t r = 0; r < m(); ++r) {
+    for (std::size_t c = 0; c < m(); ++c) {
+      if (data.get(row0 + r, col0 + c)) {
+        check.leading.flip(geometry_.leading(r, c));
+        check.counter.flip(geometry_.counter(r, c));
+      }
+    }
+  }
+  return check;
+}
+
+Syndrome BlockCodec::compute_syndrome(const util::BitMatrix& data, std::size_t row0,
+                                      std::size_t col0, const CheckBits& stored) const {
+  if (stored.leading.size() != m() || stored.counter.size() != m()) {
+    throw std::invalid_argument("BlockCodec: stored check bits have wrong size");
+  }
+  const CheckBits fresh = encode(data, row0, col0);
+  Syndrome s(m());
+  s.leading = fresh.leading ^ stored.leading;
+  s.counter = fresh.counter ^ stored.counter;
+  return s;
+}
+
+DecodeResult BlockCodec::classify(const Syndrome& syndrome) const {
+  DecodeResult result;
+  const std::size_t nl = syndrome.leading.count();
+  const std::size_t nc = syndrome.counter.count();
+  if (nl == 0 && nc == 0) {
+    result.status = DecodeStatus::kClean;
+    return result;
+  }
+  if (nl == 1 && nc == 1) {
+    // Single data-bit error: unique intersection of the two diagonals.
+    const DiagonalPair pair{syndrome.leading.find_first(),
+                            syndrome.counter.find_first()};
+    result.status = DecodeStatus::kCorrectedData;
+    result.data_error = geometry_.locate(pair);
+    return result;
+  }
+  if (nl == 1 && nc == 0) {
+    result.status = DecodeStatus::kCorrectedCheck;
+    result.check_error = CheckBitLocation{true, syndrome.leading.find_first()};
+    return result;
+  }
+  if (nl == 0 && nc == 1) {
+    result.status = DecodeStatus::kCorrectedCheck;
+    result.check_error = CheckBitLocation{false, syndrome.counter.find_first()};
+    return result;
+  }
+  result.status = DecodeStatus::kDetectedUncorrectable;
+  return result;
+}
+
+DecodeResult BlockCodec::check_and_correct(util::BitMatrix& data, std::size_t row0,
+                                           std::size_t col0, CheckBits& stored) const {
+  const Syndrome syndrome = compute_syndrome(data, row0, col0, stored);
+  const DecodeResult result = classify(syndrome);
+  switch (result.status) {
+    case DecodeStatus::kCorrectedData: {
+      const Cell cell = *result.data_error;
+      data.flip(row0 + cell.r, col0 + cell.c);
+      break;
+    }
+    case DecodeStatus::kCorrectedCheck: {
+      const CheckBitLocation loc = *result.check_error;
+      if (loc.on_leading_axis) {
+        stored.leading.flip(loc.index);
+      } else {
+        stored.counter.flip(loc.index);
+      }
+      break;
+    }
+    case DecodeStatus::kClean:
+    case DecodeStatus::kDetectedUncorrectable:
+      break;
+  }
+  return result;
+}
+
+void BlockCodec::update_for_write(CheckBits& check, std::size_t r, std::size_t c,
+                                  bool old_value, bool new_value) const {
+  if (old_value == new_value) return;
+  check.leading.flip(geometry_.leading(r, c));
+  check.counter.flip(geometry_.counter(r, c));
+}
+
+}  // namespace pimecc::ecc

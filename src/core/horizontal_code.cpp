@@ -1,0 +1,95 @@
+#include "core/horizontal_code.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace pimecc::ecc {
+
+HorizontalCode::HorizontalCode(std::size_t n, std::size_t group_size)
+    : n_(n), group_(group_size), parities_() {
+  if (n == 0 || group_size == 0 || n % group_size != 0) {
+    throw std::invalid_argument(
+        "HorizontalCode: group size must divide n (both positive)");
+  }
+  parities_.resize(n_ * groups_per_row());
+}
+
+std::size_t HorizontalCode::slot(std::size_t r, std::size_t g) const {
+  if (r >= n_ || g >= groups_per_row()) {
+    throw std::out_of_range("HorizontalCode: slot out of range");
+  }
+  return r * groups_per_row() + g;
+}
+
+void HorizontalCode::encode_all(const util::BitMatrix& data) {
+  if (data.rows() != n_ || data.cols() != n_) {
+    throw std::invalid_argument("HorizontalCode: data matrix must be n x n");
+  }
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t g = 0; g < groups_per_row(); ++g) {
+      bool p = false;
+      for (std::size_t i = 0; i < group_; ++i) {
+        p ^= data.get(r, g * group_ + i);
+      }
+      parities_.set(slot(r, g), p);
+    }
+  }
+}
+
+bool HorizontalCode::parity(std::size_t r, std::size_t g) const {
+  return parities_.get(slot(r, g));
+}
+
+void HorizontalCode::apply_writes(const std::vector<CellWrite>& writes) {
+  for (const CellWrite& w : writes) {
+    if (w.r >= n_ || w.c >= n_) {
+      throw std::out_of_range("HorizontalCode::apply_writes: cell out of range");
+    }
+    if (w.old_value != w.new_value) {
+      parities_.flip(slot(w.r, w.c / group_));
+    }
+  }
+}
+
+bool HorizontalCode::consistent_with(const util::BitMatrix& data) const {
+  if (data.rows() != n_ || data.cols() != n_) {
+    throw std::invalid_argument("HorizontalCode: data matrix must be n x n");
+  }
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t g = 0; g < groups_per_row(); ++g) {
+      bool p = false;
+      for (std::size_t i = 0; i < group_; ++i) {
+        p ^= data.get(r, g * group_ + i);
+      }
+      if (p != parities_.get(r * groups_per_row() + g)) return false;
+    }
+  }
+  return true;
+}
+
+bool HorizontalCode::group_has_error(const util::BitMatrix& data, std::size_t r,
+                                     std::size_t g) const {
+  bool p = false;
+  for (std::size_t i = 0; i < group_; ++i) {
+    p ^= data.at(r, g * group_ + i);
+  }
+  return p != parities_.get(slot(r, g));
+}
+
+std::size_t HorizontalCode::update_cost_reads(
+    const std::vector<CellWrite>& writes) const {
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> changed_per_group;
+  for (const CellWrite& w : writes) {
+    if (w.old_value != w.new_value) {
+      ++changed_per_group[{w.r, w.c / group_}];
+    }
+  }
+  std::size_t cost = 0;
+  for (const auto& [group, changed] : changed_per_group) {
+    cost += changed == 1 ? 1 : group_;
+  }
+  return cost;
+}
+
+}  // namespace pimecc::ecc

@@ -1,0 +1,55 @@
+#include "fault/burst.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pimecc::fault {
+
+std::vector<DataFlip> burst_cells(std::size_t rows, std::size_t cols,
+                                  std::size_t r, std::size_t c,
+                                  std::size_t length, BurstShape shape) {
+  if (length == 0) {
+    throw std::invalid_argument("burst_cells: length must be positive");
+  }
+  if (r >= rows || c >= cols) {
+    throw std::out_of_range("burst_cells: anchor out of range");
+  }
+  std::vector<DataFlip> cells;
+  switch (shape) {
+    case BurstShape::kHorizontal:
+      for (std::size_t i = 0; i < length && c + i < cols; ++i) {
+        cells.push_back({r, c + i});
+      }
+      break;
+    case BurstShape::kVertical:
+      for (std::size_t i = 0; i < length && r + i < rows; ++i) {
+        cells.push_back({r + i, c});
+      }
+      break;
+    case BurstShape::kSquare: {
+      const auto side = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(length))));
+      for (std::size_t dr = 0; dr < side && cells.size() < length; ++dr) {
+        for (std::size_t dc = 0; dc < side && cells.size() < length; ++dc) {
+          if (r + dr < rows && c + dc < cols) {
+            cells.push_back({r + dr, c + dc});
+          }
+        }
+      }
+      break;
+    }
+  }
+  return cells;
+}
+
+std::vector<DataFlip> inject_burst(util::Rng& rng, util::BitMatrix& data,
+                                   std::size_t length, BurstShape shape) {
+  const std::size_t r = rng.uniform_below(data.rows());
+  const std::size_t c = rng.uniform_below(data.cols());
+  std::vector<DataFlip> cells =
+      burst_cells(data.rows(), data.cols(), r, c, length, shape);
+  for (const DataFlip& cell : cells) data.flip(cell.r, cell.c);
+  return cells;
+}
+
+}  // namespace pimecc::fault

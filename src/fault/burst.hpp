@@ -1,0 +1,50 @@
+// pimecc -- fault/burst.hpp
+//
+// Spatially-correlated multi-bit upsets (paper Section II-B, refs [7][8]:
+// ion strikes flip clusters of adjacent cells, not just single bits).
+//
+// The diagonal code has a useful structural property against clusters: any
+// set of distinct cells within one block whose pairwise row and column
+// offsets are all smaller than m flags at least two diagonals on some axis
+// whenever it has >= 2 cells -- adjacent cells can never share both
+// diagonals -- so in-block bursts shorter than m are always *detected*,
+// never silently miscorrected.  bench_burst_errors measures this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+
+namespace pimecc::fault {
+
+/// Cluster shapes observed in heavy-ion testing.
+enum class BurstShape : unsigned char {
+  kHorizontal,  ///< 1 x length run along a wordline
+  kVertical,    ///< length x 1 run along a bitline
+  kSquare,      ///< ceil(sqrt(length))-sided square patch (truncated)
+};
+
+[[nodiscard]] constexpr const char* to_string(BurstShape s) noexcept {
+  switch (s) {
+    case BurstShape::kHorizontal: return "horizontal";
+    case BurstShape::kVertical: return "vertical";
+    case BurstShape::kSquare: return "square";
+  }
+  return "?";
+}
+
+/// Computes the cells of a burst of `length` cells anchored at (r, c),
+/// clipped to the matrix bounds.
+[[nodiscard]] std::vector<DataFlip> burst_cells(std::size_t rows,
+                                                std::size_t cols, std::size_t r,
+                                                std::size_t c, std::size_t length,
+                                                BurstShape shape);
+
+/// Flips one burst at a uniformly-random anchor; returns the flipped cells.
+std::vector<DataFlip> inject_burst(util::Rng& rng, util::BitMatrix& data,
+                                   std::size_t length, BurstShape shape);
+
+}  // namespace pimecc::fault

@@ -1,0 +1,106 @@
+#include "fault/injector.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pimecc::fault {
+
+namespace {
+
+/// Samples `count` distinct values in [0, population) (Floyd's algorithm).
+std::vector<std::size_t> sample_distinct(util::Rng& rng, std::size_t population,
+                                         std::size_t count) {
+  if (count > population) {
+    throw std::invalid_argument("sample_distinct: count exceeds population");
+  }
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(count);
+  for (std::size_t j = population - count; j < population; ++j) {
+    const std::size_t t = static_cast<std::size_t>(rng.uniform_below(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+CheckFlip apply_check_flip(ecc::ArrayCode& code, std::size_t block_row,
+                           std::size_t block_col, std::size_t check_slot) {
+  const std::size_t m = code.m();
+  CheckFlip flip;
+  flip.block_row = block_row;
+  flip.block_col = block_col;
+  flip.on_leading_axis = check_slot < m;
+  flip.index = check_slot % m;
+  ecc::CheckBits& bits = code.check_bits_mutable({block_row, block_col});
+  if (flip.on_leading_axis) {
+    bits.leading.flip(flip.index);
+  } else {
+    bits.counter.flip(flip.index);
+  }
+  return flip;
+}
+
+}  // namespace
+
+InjectionRecord inject_data_flips(util::Rng& rng, util::BitMatrix& data,
+                                  std::size_t count) {
+  InjectionRecord record;
+  const std::size_t population = data.rows() * data.cols();
+  for (const std::size_t flat : sample_distinct(rng, population, count)) {
+    const std::size_t r = flat / data.cols();
+    const std::size_t c = flat % data.cols();
+    data.flip(r, c);
+    record.data_flips.push_back({r, c});
+  }
+  return record;
+}
+
+InjectionRecord inject_flips_everywhere(util::Rng& rng, util::BitMatrix& data,
+                                        ecc::ArrayCode& code, std::size_t count) {
+  if (data.rows() != code.n() || data.cols() != code.n()) {
+    throw std::invalid_argument("inject_flips_everywhere: shape mismatch");
+  }
+  InjectionRecord record;
+  const std::size_t data_cells = code.n() * code.n();
+  const std::size_t check_cells = code.block_count() * 2 * code.m();
+  for (const std::size_t flat :
+       sample_distinct(rng, data_cells + check_cells, count)) {
+    if (flat < data_cells) {
+      const std::size_t r = flat / code.n();
+      const std::size_t c = flat % code.n();
+      data.flip(r, c);
+      record.data_flips.push_back({r, c});
+    } else {
+      const std::size_t rel = flat - data_cells;
+      const std::size_t per_block = 2 * code.m();
+      const std::size_t block = rel / per_block;
+      const std::size_t slot = rel % per_block;
+      record.check_flips.push_back(apply_check_flip(
+          code, block / code.blocks_per_side(), block % code.blocks_per_side(), slot));
+    }
+  }
+  return record;
+}
+
+InjectionRecord inject_block_flips(util::Rng& rng, util::BitMatrix& data,
+                                   ecc::ArrayCode& code, std::size_t block_row,
+                                   std::size_t block_col, std::size_t count,
+                                   bool include_check_bits) {
+  InjectionRecord record;
+  const std::size_t m = code.m();
+  const std::size_t data_cells = m * m;
+  const std::size_t population = data_cells + (include_check_bits ? 2 * m : 0);
+  for (const std::size_t flat : sample_distinct(rng, population, count)) {
+    if (flat < data_cells) {
+      const std::size_t r = block_row * m + flat / m;
+      const std::size_t c = block_col * m + flat % m;
+      data.flip(r, c);
+      record.data_flips.push_back({r, c});
+    } else {
+      record.check_flips.push_back(
+          apply_check_flip(code, block_row, block_col, flat - data_cells));
+    }
+  }
+  return record;
+}
+
+}  // namespace pimecc::fault

@@ -1,0 +1,59 @@
+// pimecc -- fault/injector.hpp
+//
+// Applies sampled soft errors to simulator state: the n x n data matrix
+// (MEM) and the per-block check bits (CMEM).  Check-bit memristors are as
+// vulnerable as data memristors, so reliability experiments inject into
+// both populations, proportionally to their cell counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/array_code.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+
+namespace pimecc::fault {
+
+/// Coordinates of one injected flip in the data array.
+struct DataFlip {
+  std::size_t r = 0;
+  std::size_t c = 0;
+};
+
+/// Coordinates of one injected flip among the check bits.
+struct CheckFlip {
+  std::size_t block_row = 0;
+  std::size_t block_col = 0;
+  bool on_leading_axis = false;
+  std::size_t index = 0;  ///< diagonal index within the block
+};
+
+/// Record of everything one injection call flipped.
+struct InjectionRecord {
+  std::vector<DataFlip> data_flips;
+  std::vector<CheckFlip> check_flips;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return data_flips.size() + check_flips.size();
+  }
+};
+
+/// Flips exactly `count` distinct uniformly-chosen data cells.
+InjectionRecord inject_data_flips(util::Rng& rng, util::BitMatrix& data,
+                                  std::size_t count);
+
+/// Flips exactly `count` distinct uniformly-chosen cells across the union
+/// of data cells and check bits of `code` (the physically faithful
+/// population for the paper's per-block reliability analysis).
+InjectionRecord inject_flips_everywhere(util::Rng& rng, util::BitMatrix& data,
+                                        ecc::ArrayCode& code, std::size_t count);
+
+/// Flips `count` distinct cells inside one m x m block (+its check bits if
+/// `include_check_bits`), for targeted per-block experiments.
+InjectionRecord inject_block_flips(util::Rng& rng, util::BitMatrix& data,
+                                   ecc::ArrayCode& code, std::size_t block_row,
+                                   std::size_t block_col, std::size_t count,
+                                   bool include_check_bits);
+
+}  // namespace pimecc::fault

@@ -1,0 +1,64 @@
+#include "fault/models.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace pimecc::fault {
+
+ConstantRateModel::ConstantRateModel(double fit_per_bit) : fit_per_bit_(fit_per_bit) {
+  if (fit_per_bit < 0.0) {
+    throw std::invalid_argument("ConstantRateModel: rate must be non-negative");
+  }
+}
+
+std::size_t ConstantRateModel::sample_flip_count(util::Rng& rng, std::size_t bits,
+                                                 double hours) const {
+  const double p = flip_probability(hours);
+  return static_cast<std::size_t>(rng.binomial(bits, p));
+}
+
+DriftModel::DriftModel(std::size_t cells, double drift_per_hour_mean,
+                       double drift_per_hour_stddev, double threshold)
+    : accum_(cells, 0.0),
+      flipped_(cells, false),
+      mean_(drift_per_hour_mean),
+      stddev_(drift_per_hour_stddev),
+      threshold_(threshold) {
+  if (threshold <= 0.0) {
+    throw std::invalid_argument("DriftModel: threshold must be positive");
+  }
+  if (drift_per_hour_mean < 0.0 || drift_per_hour_stddev < 0.0) {
+    throw std::invalid_argument("DriftModel: drift parameters must be non-negative");
+  }
+}
+
+std::vector<std::size_t> DriftModel::advance(util::Rng& rng, double hours) {
+  std::vector<std::size_t> newly_flipped;
+  if (hours <= 0.0) return newly_flipped;
+  // std::normal_distribution requires a strictly positive stddev; a zero
+  // spread degenerates to deterministic drift.
+  const bool deterministic = stddev_ == 0.0;
+  std::normal_distribution<double> step(mean_ * hours,
+                                        deterministic ? 1.0 : stddev_ * hours);
+  for (std::size_t i = 0; i < accum_.size(); ++i) {
+    if (flipped_[i]) continue;
+    accum_[i] += deterministic ? mean_ * hours : std::max(0.0, step(rng));
+    if (accum_[i] >= threshold_) {
+      flipped_[i] = true;
+      newly_flipped.push_back(i);
+    }
+  }
+  return newly_flipped;
+}
+
+void DriftModel::refresh() noexcept {
+  std::fill(accum_.begin(), accum_.end(), 0.0);
+}
+
+std::size_t DriftModel::flipped_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(flipped_.begin(), flipped_.end(), true));
+}
+
+}  // namespace pimecc::fault

@@ -1,0 +1,78 @@
+// pimecc -- fault/models.hpp
+//
+// Soft-error models for memristive cells (paper Section II-B).
+//
+// The paper's quantitative analysis assumes errors "distributed uniformly
+// and independently" with a constant Soft Error Rate (SER) lambda in
+// FIT/bit; ConstantRateModel implements exactly that.  Two mechanistic
+// variants are provided for the failure causes the paper cites: gradual
+// state drift from oxygen-vacancy diffusion [6] (DriftModel) and abrupt
+// upsets from ion strikes / environment [7-9] (ConstantRateModel with a
+// window equal to the strike interval).  Periodic refresh [6] interacts
+// with drift only; both compose with the ECC under test.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pimecc::fault {
+
+/// Constant-rate (exponential inter-arrival) soft-error model.
+///
+/// Over an exposure window of `hours`, each bit flips independently with
+/// probability 1 - exp(-lambda * T / 1e9).
+class ConstantRateModel {
+ public:
+  /// lambda in FIT/bit; must be >= 0.
+  explicit ConstantRateModel(double fit_per_bit);
+
+  [[nodiscard]] double fit_per_bit() const noexcept { return fit_per_bit_; }
+
+  /// Per-bit flip probability over `hours`.
+  [[nodiscard]] double flip_probability(double hours) const noexcept {
+    return util::error_probability(fit_per_bit_, hours);
+  }
+
+  /// Samples how many of `bits` cells flip during `hours` (binomial).
+  [[nodiscard]] std::size_t sample_flip_count(util::Rng& rng, std::size_t bits,
+                                              double hours) const;
+
+ private:
+  double fit_per_bit_;
+};
+
+/// Gradual state-drift model: each cell accumulates drift per time step;
+/// crossing the threshold flips the stored bit.  A refresh resets all
+/// accumulators (the mechanism of [6]); errors that already crossed the
+/// threshold before the refresh are *not* undone -- matching the paper's
+/// remark that refresh cannot fix errors occurring between refreshes.
+class DriftModel {
+ public:
+  /// `cells`: number of modeled cells.
+  /// `drift_per_hour_mean/stddev`: per-step accumulation (gaussian, clamped
+  ///   at 0).
+  /// `threshold`: accumulated drift at which the cell's bit flips.
+  DriftModel(std::size_t cells, double drift_per_hour_mean,
+             double drift_per_hour_stddev, double threshold);
+
+  /// Advances `hours`; returns indices of cells that newly flipped.
+  std::vector<std::size_t> advance(util::Rng& rng, double hours);
+
+  /// Resets all accumulators (periodic refresh).
+  void refresh() noexcept;
+
+  [[nodiscard]] std::size_t cells() const noexcept { return accum_.size(); }
+  [[nodiscard]] std::size_t flipped_count() const noexcept;
+
+ private:
+  std::vector<double> accum_;
+  std::vector<bool> flipped_;
+  double mean_;
+  double stddev_;
+  double threshold_;
+};
+
+}  // namespace pimecc::fault

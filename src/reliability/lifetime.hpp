@@ -1,0 +1,51 @@
+// pimecc -- reliability/lifetime.hpp
+//
+// Discrete-time lifetime simulation of a multi-crossbar memory: soft
+// errors arrive continuously at a constant SER, the full memory is
+// scrubbed every T hours, and the memory *fails* the first time a scrub
+// meets a block carrying more than one error (silent corruption becomes
+// possible).  Running many lifetimes yields an empirical MTTF that the
+// Section V-A closed form must predict -- the strongest end-to-end check
+// of Figure 6's machinery, complementing the per-block Monte Carlo.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pimecc::rel {
+
+/// Configuration of one lifetime campaign.
+struct LifetimeConfig {
+  std::size_t n = 60;             ///< per-crossbar dimension
+  std::size_t m = 15;             ///< block size
+  std::size_t crossbars = 4;      ///< units in the memory
+  double fit_per_bit = 0.0;       ///< SER (use high rates for tractability)
+  double scrub_period_hours = 24.0;
+  std::size_t trials = 100;
+  double max_hours = 1e7;         ///< per-trial simulation horizon
+  bool include_check_bits = true;
+};
+
+/// Campaign outcome.
+struct LifetimeResult {
+  std::size_t trials = 0;
+  std::size_t failures = 0;       ///< trials that failed within the horizon
+  util::RunningStats time_to_failure_hours;  ///< over failed trials
+  std::uint64_t scrubs_performed = 0;
+  std::uint64_t errors_corrected = 0;
+
+  /// Empirical MTTF estimate (censored trials count the full horizon).
+  [[nodiscard]] double empirical_mttf_hours(double horizon) const noexcept;
+};
+
+/// Runs the campaign.
+[[nodiscard]] LifetimeResult simulate_lifetime(const LifetimeConfig& config,
+                                               util::Rng& rng);
+
+/// The closed-form MTTF prediction for the same configuration (the Figure 6
+/// model applied to `crossbars` units of n x n instead of 1 GB).
+[[nodiscard]] double analytic_mttf_hours(const LifetimeConfig& config);
+
+}  // namespace pimecc::rel

@@ -1,0 +1,122 @@
+#include "reliability/montecarlo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/array_code.hpp"
+#include "fault/injector.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/units.hpp"
+
+namespace pimecc::rel {
+
+double MonteCarloResult::block_failure_rate() const noexcept {
+  return blocks_total > 0 ? static_cast<double>(blocks_failed) /
+                                static_cast<double>(blocks_total)
+                          : 0.0;
+}
+
+MonteCarloResult run_montecarlo(const MonteCarloConfig& config, util::Rng& rng) {
+  if (config.n == 0 || config.m == 0 || config.n % config.m != 0) {
+    throw std::invalid_argument("run_montecarlo: m must divide n");
+  }
+  const double p =
+      util::error_probability(config.fit_per_bit, config.window_hours);
+  const std::size_t data_cells = config.n * config.n;
+  ecc::ArrayCode probe(config.n, config.m);
+  const std::size_t check_cells =
+      config.include_check_bits ? probe.block_count() * 2 * config.m : 0;
+  const std::size_t population = data_cells + check_cells;
+
+  MonteCarloResult result;
+  result.trials = config.trials;
+  result.blocks_total =
+      static_cast<std::uint64_t>(config.trials) * probe.block_count();
+
+  util::BitMatrix golden(config.n, config.n);
+  for (std::size_t r = 0; r < config.n; ++r) {
+    for (std::size_t c = 0; c < config.n; ++c) {
+      golden.set(r, c, rng.bernoulli(0.5));
+    }
+  }
+  ecc::ArrayCode golden_code(config.n, config.m);
+  golden_code.encode_all(golden);
+
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    const std::size_t flips =
+        static_cast<std::size_t>(rng.binomial(population, p));
+    if (flips == 0) continue;
+    ++result.trials_with_errors;
+    result.flips_injected += flips;
+
+    util::BitMatrix data = golden;
+    ecc::ArrayCode code = golden_code;
+    const fault::InjectionRecord record =
+        config.include_check_bits
+            ? fault::inject_flips_everywhere(rng, data, code, flips)
+            : fault::inject_data_flips(rng, data, flips);
+
+    // Which blocks received at least one flip.
+    std::vector<bool> block_touched(code.block_count(), false);
+    for (const fault::DataFlip& f : record.data_flips) {
+      const ecc::BlockIndex b = code.block_of(f.r, f.c);
+      block_touched[b.block_row * code.blocks_per_side() + b.block_col] = true;
+    }
+    for (const fault::CheckFlip& f : record.check_flips) {
+      block_touched[f.block_row * code.blocks_per_side() + f.block_col] = true;
+    }
+    for (const bool touched : block_touched) {
+      if (touched) ++result.blocks_with_errors;
+    }
+
+    const ecc::ScrubReport scrub = code.scrub(data);
+    result.corrected_data += scrub.corrected_data;
+    result.corrected_check += scrub.corrected_check;
+    result.detected_uncorrectable += scrub.uncorrectable;
+
+    // Failure accounting: any data bit still wrong after repair.
+    bool crossbar_failed = false;
+    std::size_t failed_blocks_this_trial = 0;
+    for (std::size_t br = 0; br < code.blocks_per_side(); ++br) {
+      for (std::size_t bc = 0; bc < code.blocks_per_side(); ++bc) {
+        bool block_bad = false;
+        for (std::size_t r = br * config.m; r < (br + 1) * config.m && !block_bad;
+             ++r) {
+          for (std::size_t c = bc * config.m; c < (bc + 1) * config.m; ++c) {
+            if (data.get(r, c) != golden.get(r, c)) {
+              block_bad = true;
+              break;
+            }
+          }
+        }
+        if (block_bad) {
+          ++failed_blocks_this_trial;
+          crossbar_failed = true;
+        }
+      }
+    }
+    result.blocks_failed += failed_blocks_this_trial;
+    if (crossbar_failed) ++result.trials_failed;
+    // Miscorrection: a "correction" happened but the block is still bad, or
+    // data changed away from golden where no flip landed -- approximated as
+    // failed blocks that reported a data correction.
+    if (failed_blocks_this_trial > 0 && scrub.corrected_data > 0) {
+      result.miscorrected += failed_blocks_this_trial;
+    }
+  }
+  return result;
+}
+
+double analytic_block_failure(const MonteCarloConfig& config) {
+  const double p =
+      util::error_probability(config.fit_per_bit, config.window_hours);
+  const double cells = static_cast<double>(
+      config.m * config.m + (config.include_check_bits ? 2 * config.m : 0));
+  // 1 - (1-p)^B - B p (1-p)^(B-1), in log space for small p.
+  const double log1mp = std::log1p(-p);
+  const double ok = std::exp(cells * log1mp) +
+                    cells * p * std::exp((cells - 1.0) * log1mp);
+  return 1.0 - ok;
+}
+
+}  // namespace pimecc::rel

@@ -1,0 +1,59 @@
+// pimecc -- reliability/montecarlo.hpp
+//
+// Monte Carlo cross-validation of the analytic Section V-A model: inject
+// soft errors into a real simulated crossbar + check memory for one check
+// period, run the architecture's scrub, and measure how often a block (or
+// the crossbar) retains an uncorrected/miscorrected error.  Used by
+// bench_montecarlo_mttf and the reliability tests to confirm the analytic
+// block-failure probabilities.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace pimecc::rel {
+
+/// Configuration of one Monte Carlo experiment.
+struct MonteCarloConfig {
+  std::size_t n = 120;   ///< crossbar size (scaled down for trial volume)
+  std::size_t m = 15;    ///< block size
+  double fit_per_bit = 0.0;
+  double window_hours = 24.0;
+  std::size_t trials = 1000;
+  bool include_check_bits = true;
+};
+
+/// Aggregated outcome.
+struct MonteCarloResult {
+  std::size_t trials = 0;
+  std::size_t trials_with_errors = 0;      ///< >= 1 flip injected
+  std::size_t trials_failed = 0;           ///< crossbar left corrupted
+  std::uint64_t blocks_total = 0;          ///< trials x blocks per crossbar
+  std::uint64_t flips_injected = 0;
+  std::uint64_t blocks_failed = 0;         ///< blocks left corrupted
+  std::uint64_t blocks_with_errors = 0;    ///< blocks that received >= 1 flip
+  std::uint64_t corrected_data = 0;
+  std::uint64_t corrected_check = 0;
+  std::uint64_t detected_uncorrectable = 0;
+  std::uint64_t miscorrected = 0;          ///< correction applied, data still wrong
+
+  [[nodiscard]] double crossbar_failure_rate() const noexcept {
+    return trials > 0 ? static_cast<double>(trials_failed) /
+                            static_cast<double>(trials)
+                      : 0.0;
+  }
+  [[nodiscard]] double block_failure_rate() const noexcept;
+};
+
+/// Runs the experiment: per trial, sample a binomial flip count over all
+/// vulnerable cells, inject, scrub once, and compare the repaired data
+/// against the pre-fault golden image.
+[[nodiscard]] MonteCarloResult run_montecarlo(const MonteCarloConfig& config,
+                                              util::Rng& rng);
+
+/// Analytic per-block failure probability for the same configuration
+/// (P(>= 2 errors in a block)), for direct comparison.
+[[nodiscard]] double analytic_block_failure(const MonteCarloConfig& config);
+
+}  // namespace pimecc::rel

@@ -1,0 +1,77 @@
+#include "simpler/protected_vm.hpp"
+
+#include <stdexcept>
+
+namespace pimecc::simpler {
+
+ProtectedRunResult run_program_protected(arch::PimMachine& machine,
+                                         const Netlist& netlist,
+                                         const MappedProgram& program,
+                                         const util::BitMatrix& inputs,
+                                         bool check_inputs_first) {
+  const std::size_t n = machine.n();
+  if (program.row_width > n) {
+    throw std::invalid_argument(
+        "run_program_protected: program wider than the machine row");
+  }
+  if (inputs.rows() != n || inputs.cols() != program.input_cells.size()) {
+    throw std::invalid_argument(
+        "run_program_protected: inputs must be machine-rows x num-inputs");
+  }
+
+  ProtectedRunResult result;
+
+  // The paper's discipline, applied *before* any protected write touches
+  // the array: a soft error overwritten before it is checked would leave a
+  // permanently wrong parity (the Section III false-positive race, see
+  // bench_false_positive), so every block band is verified first.
+  if (check_inputs_first) {
+    for (std::size_t band = 0; band < n / machine.m(); ++band) {
+      const arch::CheckReport report =
+          machine.check_block_row(band * machine.m());
+      result.input_check_corrections += report.corrected_data;
+      result.input_check_corrections += report.corrected_check;
+    }
+  }
+
+  // Load inputs and constants through the protected write path (full row
+  // images built from the current contents so unrelated columns survive).
+  for (std::size_t r = 0; r < n; ++r) {
+    util::BitVector image = machine.data().row(r);
+    for (std::size_t i = 0; i < program.input_cells.size(); ++i) {
+      image.set(program.input_cells[i], inputs.get(r, i));
+    }
+    // Constants sit right after the inputs (mapper convention).
+    CellIndex next_fixed = static_cast<CellIndex>(program.input_cells.size());
+    for (NodeId id = 0; id < netlist.num_nodes(); ++id) {
+      const NodeType t = netlist.node(id).type;
+      if (t == NodeType::kConstZero || t == NodeType::kConstOne) {
+        image.set(next_fixed++, t == NodeType::kConstOne);
+      }
+    }
+    machine.write_row_protected(r, image);
+  }
+
+  // Execute: every op through the critical-operation protocol, all rows in
+  // parallel (empty lane list = SIMD across the full array).
+  for (const MappedOp& op : program.ops) {
+    if (op.kind == MappedOp::Kind::kInit) {
+      std::vector<std::size_t> cols(op.init_cells.begin(), op.init_cells.end());
+      machine.magic_init_rows_protected(cols);
+    } else {
+      std::vector<std::size_t> ins(op.in_cells.begin(), op.in_cells.end());
+      machine.magic_nor_rows_protected(ins, op.cell);
+    }
+  }
+
+  result.outputs = util::BitMatrix(n, program.output_cells.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < program.output_cells.size(); ++i) {
+      result.outputs.set(r, i, machine.data().get(r, program.output_cells[i]));
+    }
+  }
+  result.ecc_consistent_after = machine.ecc_consistent();
+  return result;
+}
+
+}  // namespace pimecc::simpler

@@ -1,0 +1,41 @@
+// pimecc -- simpler/protected_vm.hpp
+//
+// Executes a mapped single-row program on the full ECC-protected machine:
+// the end-to-end composition of SIMPLER and the paper's architecture.
+// Inputs are loaded through the protected controller path, the input
+// block-rows are checked before execution (Section IV), every init and
+// gate runs the critical-operation protocol, and the function executes in
+// SIMD across any number of crossbar rows at a single row's cycle count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/pim_machine.hpp"
+#include "simpler/mapper.hpp"
+#include "simpler/netlist.hpp"
+#include "util/bitmatrix.hpp"
+
+namespace pimecc::simpler {
+
+/// Outcome of one protected (SIMD) program execution.
+struct ProtectedRunResult {
+  util::BitMatrix outputs;              ///< one row of PO values per lane
+  std::size_t input_check_corrections = 0;  ///< errors repaired before use
+  bool ecc_consistent_after = false;
+};
+
+/// Runs `program` in every row of `machine` simultaneously with per-row
+/// inputs (`inputs` is machine-rows x num_inputs).  The machine's contents
+/// outside the program's cells stay ECC-covered throughout.
+///
+/// `check_inputs_first` runs the paper's before-use check on every block
+/// band, repairing any single soft error that accumulated since the data
+/// was written.
+ProtectedRunResult run_program_protected(arch::PimMachine& machine,
+                                         const Netlist& netlist,
+                                         const MappedProgram& program,
+                                         const util::BitMatrix& inputs,
+                                         bool check_inputs_first = true);
+
+}  // namespace pimecc::simpler

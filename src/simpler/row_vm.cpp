@@ -1,0 +1,97 @@
+#include "simpler/row_vm.hpp"
+
+#include <stdexcept>
+
+namespace pimecc::simpler {
+
+namespace {
+
+void require_fits(const MappedProgram& program, const xbar::Crossbar& xbar) {
+  if (xbar.cols() < program.row_width) {
+    throw std::invalid_argument("row_vm: crossbar narrower than the mapped row");
+  }
+}
+
+void place_constants(const Netlist& netlist, const MappedProgram& program,
+                     xbar::Crossbar& xbar, std::size_t row) {
+  // Constants were pre-placed right after the inputs by the mapper.
+  CellIndex next_fixed = static_cast<CellIndex>(program.input_cells.size());
+  for (NodeId id = 0; id < netlist.num_nodes(); ++id) {
+    const NodeType t = netlist.node(id).type;
+    if (t == NodeType::kConstZero || t == NodeType::kConstOne) {
+      xbar.poke(row, next_fixed++, t == NodeType::kConstOne);
+    }
+  }
+}
+
+std::uint64_t execute_ops(const MappedProgram& program, xbar::Crossbar& xbar,
+                          std::span<const std::size_t> lanes) {
+  std::uint64_t violations = 0;
+  for (const MappedOp& op : program.ops) {
+    if (op.kind == MappedOp::Kind::kInit) {
+      std::vector<std::size_t> lines(op.init_cells.begin(), op.init_cells.end());
+      xbar.magic_init(xbar::Orientation::kRow, lines, lanes);
+    } else {
+      std::vector<std::size_t> ins(op.in_cells.begin(), op.in_cells.end());
+      const xbar::OpResult r =
+          xbar.magic_nor(xbar::Orientation::kRow, ins, op.cell, lanes);
+      violations += r.violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace
+
+RowRunResult run_single_row(const Netlist& netlist, const MappedProgram& program,
+                            xbar::Crossbar& xbar, std::size_t row,
+                            const util::BitVector& inputs) {
+  require_fits(program, xbar);
+  if (inputs.size() != program.input_cells.size()) {
+    throw std::invalid_argument("run_single_row: wrong number of inputs");
+  }
+  const std::uint64_t start_cycles = xbar.cycles();
+  for (std::size_t i = 0; i < program.input_cells.size(); ++i) {
+    xbar.poke(row, program.input_cells[i], inputs.get(i));
+  }
+  place_constants(netlist, program, xbar, row);
+
+  const std::size_t lanes_arr[1] = {row};
+  RowRunResult result;
+  result.violations = execute_ops(program, xbar, lanes_arr);
+  result.outputs.resize(program.output_cells.size());
+  for (std::size_t i = 0; i < program.output_cells.size(); ++i) {
+    result.outputs.set(i, xbar.peek(row, program.output_cells[i]));
+  }
+  result.cycles = xbar.cycles() - start_cycles;
+  return result;
+}
+
+SimdRunResult run_simd(const Netlist& netlist, const MappedProgram& program,
+                       xbar::Crossbar& xbar, const util::BitMatrix& inputs) {
+  require_fits(program, xbar);
+  if (inputs.rows() != xbar.rows() ||
+      inputs.cols() != program.input_cells.size()) {
+    throw std::invalid_argument("run_simd: inputs must be rows x num_inputs");
+  }
+  const std::uint64_t start_cycles = xbar.cycles();
+  for (std::size_t r = 0; r < xbar.rows(); ++r) {
+    for (std::size_t i = 0; i < program.input_cells.size(); ++i) {
+      xbar.poke(r, program.input_cells[i], inputs.get(r, i));
+    }
+    place_constants(netlist, program, xbar, r);
+  }
+
+  SimdRunResult result;
+  result.violations = execute_ops(program, xbar, {});
+  result.outputs = util::BitMatrix(xbar.rows(), program.output_cells.size());
+  for (std::size_t r = 0; r < xbar.rows(); ++r) {
+    for (std::size_t i = 0; i < program.output_cells.size(); ++i) {
+      result.outputs.set(r, i, xbar.peek(r, program.output_cells[i]));
+    }
+  }
+  result.cycles = xbar.cycles() - start_cycles;
+  return result;
+}
+
+}  // namespace pimecc::simpler

@@ -1,0 +1,48 @@
+// pimecc -- simpler/row_vm.hpp
+//
+// Executes a MappedProgram on an actual crossbar with genuine MAGIC
+// semantics -- the bridge between the mapper's schedule and the simulated
+// hardware.  Two modes:
+//
+//   * single-row: the program runs in one chosen row (SIMPLER's execution
+//     model; used to validate mapper correctness against Netlist::eval).
+//   * SIMD: the same op sequence executes in every row simultaneously with
+//     per-row inputs -- MAGIC's throughput story (paper Figure 1), at the
+//     same cycle count as a single row.
+#pragma once
+
+#include <cstddef>
+
+#include "simpler/mapper.hpp"
+#include "simpler/netlist.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/bitvector.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace pimecc::simpler {
+
+/// Result of a single-row execution.
+struct RowRunResult {
+  util::BitVector outputs;
+  std::uint64_t cycles = 0;       ///< crossbar cycles consumed by the program
+  std::uint64_t violations = 0;   ///< MAGIC precondition violations (must be 0)
+};
+
+/// Runs `program` in row `row` of `xbar`; inputs indexed like
+/// netlist.inputs().  The crossbar must be at least row_width wide.
+RowRunResult run_single_row(const Netlist& netlist, const MappedProgram& program,
+                            xbar::Crossbar& xbar, std::size_t row,
+                            const util::BitVector& inputs);
+
+/// SIMD execution: row r of `inputs` feeds row r of the crossbar; returns
+/// one output row per crossbar row.  Cycle count equals the single-row
+/// count -- this is the parallelism the ECC mechanism must keep up with.
+struct SimdRunResult {
+  util::BitMatrix outputs;  ///< rows x num_outputs
+  std::uint64_t cycles = 0;
+  std::uint64_t violations = 0;
+};
+SimdRunResult run_simd(const Netlist& netlist, const MappedProgram& program,
+                       xbar::Crossbar& xbar, const util::BitMatrix& inputs);
+
+}  // namespace pimecc::simpler

@@ -1,0 +1,79 @@
+#include "util/bitmatrix.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pimecc::util {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_storage_(rows, BitVector(cols)), rows_(rows), cols_(cols) {}
+
+bool BitMatrix::get(std::size_t r, std::size_t c) const noexcept {
+  assert(r < rows_ && c < cols_);
+  return rows_storage_[r].get(c);
+}
+
+void BitMatrix::set(std::size_t r, std::size_t c, bool value) noexcept {
+  assert(r < rows_ && c < cols_);
+  rows_storage_[r].set(c, value);
+}
+
+bool BitMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("BitMatrix::at: index out of range");
+  }
+  return get(r, c);
+}
+
+bool BitMatrix::flip(std::size_t r, std::size_t c) noexcept {
+  assert(r < rows_ && c < cols_);
+  return rows_storage_[r].flip(c);
+}
+
+const BitVector& BitMatrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("BitMatrix::row: index out of range");
+  return rows_storage_[r];
+}
+
+BitVector& BitMatrix::row(std::size_t r) {
+  if (r >= rows_) throw std::out_of_range("BitMatrix::row: index out of range");
+  return rows_storage_[r];
+}
+
+BitVector BitMatrix::column(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("BitMatrix::column: index out of range");
+  BitVector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v.set(r, get(r, c));
+  return v;
+}
+
+void BitMatrix::set_column(std::size_t c, const BitVector& values) {
+  if (c >= cols_) throw std::out_of_range("BitMatrix::set_column: index out of range");
+  if (values.size() != rows_) {
+    throw std::invalid_argument("BitMatrix::set_column: length mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) set(r, c, values.get(r));
+}
+
+void BitMatrix::fill(bool value) noexcept {
+  for (auto& row_vec : rows_storage_) row_vec.fill(value);
+}
+
+std::size_t BitMatrix::count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& row_vec : rows_storage_) total += row_vec.count();
+  return total;
+}
+
+std::size_t BitMatrix::hamming_distance(const BitMatrix& other) const {
+  if (other.rows_ != rows_ || other.cols_ != cols_) {
+    throw std::invalid_argument("BitMatrix::hamming_distance: shape mismatch");
+  }
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    total += rows_storage_[r].hamming_distance(other.rows_storage_[r]);
+  }
+  return total;
+}
+
+}  // namespace pimecc::util

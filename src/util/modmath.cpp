@@ -1,0 +1,24 @@
+#include "util/modmath.hpp"
+
+namespace pimecc::util {
+
+std::optional<std::int64_t> mod_inverse(std::int64_t a, std::int64_t m) noexcept {
+  if (m <= 0) return std::nullopt;
+  a = floor_mod(a, m);
+  // Extended Euclid maintaining only the coefficient of a.
+  std::int64_t old_r = a, r = m;
+  std::int64_t old_s = 1, s = 0;
+  while (r != 0) {
+    const std::int64_t q = old_r / r;
+    const std::int64_t tmp_r = old_r - q * r;
+    old_r = r;
+    r = tmp_r;
+    const std::int64_t tmp_s = old_s - q * s;
+    old_s = s;
+    s = tmp_s;
+  }
+  if (old_r != 1) return std::nullopt;
+  return floor_mod(old_s, m);
+}
+
+}  // namespace pimecc::util

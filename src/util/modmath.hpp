@@ -1,0 +1,44 @@
+// pimecc -- util/modmath.hpp
+//
+// Small modular-arithmetic helpers used by the diagonal geometry.  Diagonal
+// indices are computed mod m; decoding the unique intersection of a leading
+// and counter diagonal requires the inverse of 2 mod m (m odd).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace pimecc::util {
+
+/// Mathematical (floored) modulo: result is in [0, m) for m > 0, even for
+/// negative a.  C++'s % is truncated and returns negatives for negative a.
+[[nodiscard]] constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t m) noexcept {
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+[[nodiscard]] constexpr std::int64_t gcd_i64(std::int64_t a, std::int64_t b) noexcept {
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+/// Modular inverse of a mod m via extended Euclid; nullopt if gcd(a,m) != 1.
+[[nodiscard]] std::optional<std::int64_t> mod_inverse(std::int64_t a, std::int64_t m) noexcept;
+
+/// Inverse of 2 mod m for odd m: (m+1)/2, since 2*(m+1)/2 = m+1 ≡ 1 (mod m).
+[[nodiscard]] constexpr std::int64_t inverse_of_two(std::int64_t m) noexcept {
+  return (m + 1) / 2;
+}
+
+[[nodiscard]] constexpr bool is_odd(std::int64_t x) noexcept { return (x & 1) != 0; }
+
+/// Integer ceiling division for non-negative operands.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace pimecc::util

@@ -1,0 +1,38 @@
+// pimecc -- util/units.hpp
+//
+// Reliability units used throughout the paper's evaluation (Section V-A).
+//
+//   FIT (Failures In Time): failures per 10^9 device-hours.
+//   1 FIT/bit  ==  one soft error per 10^9 hours in a specific memristor.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace pimecc::util {
+
+/// Hours per 10^9-hour FIT window.
+inline constexpr double kFitHours = 1e9;
+
+/// Probability that a device with constant rate `fit_per_bit` [FIT/bit]
+/// errs at least once within `hours`:  1 - exp(-lambda * T / 1e9).
+[[nodiscard]] inline double error_probability(double fit_per_bit, double hours) noexcept {
+  if (fit_per_bit <= 0.0 || hours <= 0.0) return 0.0;
+  return -std::expm1(-fit_per_bit * hours / kFitHours);
+}
+
+/// Converts a failure probability over a window of `hours` into a failure
+/// rate in FIT:  p * 1e9 / T.
+[[nodiscard]] inline double probability_to_fit(double p_fail, double hours) noexcept {
+  if (hours <= 0.0) return 0.0;
+  return p_fail * kFitHours / hours;
+}
+
+/// Mean time to failure [hours] from a failure rate [FIT]: 1e9 / FIT.
+/// Returns +inf for a zero rate.
+[[nodiscard]] inline double fit_to_mttf_hours(double fit) noexcept {
+  if (fit <= 0.0) return std::numeric_limits<double>::infinity();
+  return kFitHours / fit;
+}
+
+}  // namespace pimecc::util

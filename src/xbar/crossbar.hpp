@@ -1,0 +1,107 @@
+// pimecc -- xbar/crossbar.hpp
+//
+// Functional + cycle-counting model of a single memristive crossbar array
+// executing MAGIC stateful logic (paper Section II-A, Figure 1).
+//
+// The model is *logical*: each memristor is one bit (LRS=1/HRS=0).  Analog
+// non-idealities are out of scope here; soft errors are injected by
+// src/fault on top of this state.  Every mutating entry point advances the
+// cycle counter exactly like the paper's latency accounting: one cycle per
+// parallel NOR, one cycle per batched initialization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitmatrix.hpp"
+#include "util/bitvector.hpp"
+#include "xbar/magic.hpp"
+
+namespace pimecc::xbar {
+
+/// Result of one parallel MAGIC operation.
+struct OpResult {
+  std::size_t lanes = 0;          ///< rows (columns) the gate executed in
+  std::size_t violations = 0;     ///< output cells that were not LRS-initialized
+};
+
+/// A single n_rows x n_cols memristive crossbar with MAGIC execution.
+///
+/// MAGIC preconditions are enforced as the physics dictates: an output cell
+/// that was not initialized to LRS yields an undefined device result; the
+/// simulator implements the conservative semantics out' = out AND NOR(in)
+/// (an HRS output can never be driven back to LRS by a NOR) and reports the
+/// violation count so tests can assert clean execution.
+class Crossbar {
+ public:
+  Crossbar(std::size_t n_rows, std::size_t n_cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return mat_.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return mat_.cols(); }
+
+  // --- external (controller) access: counts kWrite/kRead cycles -----------
+  /// Writes a full row image (size must equal cols()).
+  void write_row(std::size_t r, const util::BitVector& data);
+  /// Writes a full column image (size must equal rows()).
+  void write_column(std::size_t c, const util::BitVector& data);
+  /// Reads a row copy.
+  [[nodiscard]] util::BitVector read_row(std::size_t r);
+  /// Reads a column copy.
+  [[nodiscard]] util::BitVector read_column(std::size_t c);
+  /// Writes a single bit (counts one write cycle).
+  void write_bit(std::size_t r, std::size_t c, bool value);
+  /// Reads a single bit (counts one read cycle).
+  [[nodiscard]] bool read_bit(std::size_t r, std::size_t c);
+
+  // --- zero-cost inspection (test/golden-model access, no cycles) ---------
+  [[nodiscard]] bool peek(std::size_t r, std::size_t c) const { return mat_.at(r, c); }
+  void poke(std::size_t r, std::size_t c, bool v) { mat_.set(r, c, v); }
+  [[nodiscard]] const util::BitMatrix& contents() const noexcept { return mat_; }
+  [[nodiscard]] util::BitMatrix& contents_mutable() noexcept { return mat_; }
+
+  // --- MAGIC stateful logic (1 cycle each) ---------------------------------
+  /// Parallel initialization to LRS (logic 1) of cells at the given
+  /// lines: for kRow orientation, initializes column `line` in every
+  /// selected row; for kColumn, row `line` in every selected column.
+  /// Multiple lines may be initialized in the same cycle (SIMPLER's batched
+  /// init).  Empty `lanes` selects all lanes.
+  void magic_init(Orientation o, std::span<const std::size_t> lines,
+                  std::span<const std::size_t> lanes = {});
+
+  /// Parallel MAGIC NOR.
+  ///
+  /// kRow: out(r, out_line) = NOR_i in(r, in_lines[i]) for every selected
+  /// row r.  kColumn: out(out_line, c) = NOR_i in(in_lines[i], c) for every
+  /// selected column c.  1-input NOR is MAGIC NOT.  Empty `lanes` selects
+  /// all lanes.  Output cells must have been magic_init'ed to LRS;
+  /// violations are counted in the result (see class comment).
+  OpResult magic_nor(Orientation o, std::span<const std::size_t> in_lines,
+                     std::size_t out_line,
+                     std::span<const std::size_t> lanes = {});
+
+  /// Convenience single-input NOR (MAGIC NOT).
+  OpResult magic_not(Orientation o, std::size_t in_line, std::size_t out_line,
+                     std::span<const std::size_t> lanes = {});
+
+  // --- cycle accounting ----------------------------------------------------
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t nor_ops() const noexcept { return nor_ops_; }
+  [[nodiscard]] std::uint64_t init_cycles() const noexcept { return init_cycles_; }
+  void reset_counters() noexcept;
+
+ private:
+  void check_line(Orientation o, std::size_t line, const char* what) const;
+  void check_lane(Orientation o, std::size_t lane) const;
+  [[nodiscard]] std::size_t lane_count(Orientation o) const noexcept {
+    return o == Orientation::kRow ? rows() : cols();
+  }
+
+  util::BitMatrix mat_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t nor_ops_ = 0;
+  std::uint64_t init_cycles_ = 0;
+};
+
+}  // namespace pimecc::xbar

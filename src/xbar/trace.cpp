@@ -1,0 +1,33 @@
+#include "xbar/trace.hpp"
+
+#include <sstream>
+
+namespace pimecc::xbar {
+
+std::string TraceEntry::to_string() const {
+  std::ostringstream os;
+  os << '[' << cycle << "] " << pimecc::xbar::to_string(kind) << ' '
+     << pimecc::xbar::to_string(orientation) << " in={";
+  for (std::size_t i = 0; i < in_lines.size(); ++i) {
+    if (i != 0) os << ',';
+    os << in_lines[i];
+  }
+  os << "} out=" << out_line << " lanes=" << lanes;
+  return os.str();
+}
+
+std::size_t Trace::count(OpKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) os << e.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace pimecc::xbar

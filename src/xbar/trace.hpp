@@ -1,0 +1,49 @@
+// pimecc -- xbar/trace.hpp
+//
+// Lightweight operation trace for debugging schedules and for asserting
+// structural properties in tests (e.g. "each diagonal is touched at most
+// once per parallel operation", the Section III invariant).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xbar/magic.hpp"
+
+namespace pimecc::xbar {
+
+/// One recorded crossbar operation.
+struct TraceEntry {
+  std::uint64_t cycle = 0;
+  OpKind kind = OpKind::kNor;
+  Orientation orientation = Orientation::kRow;
+  std::vector<std::size_t> in_lines;
+  std::size_t out_line = 0;
+  std::size_t lanes = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Append-only trace with simple aggregate queries.
+class Trace {
+ public:
+  void record(TraceEntry entry) { entries_.push_back(std::move(entry)); }
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Number of entries of the given kind.
+  [[nodiscard]] std::size_t count(OpKind kind) const noexcept;
+
+  /// Multi-line human-readable dump.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace pimecc::xbar

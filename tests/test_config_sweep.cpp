@@ -1,0 +1,145 @@
+// Cross-configuration property sweeps: the core invariants must hold for
+// every legal (n, m) geometry, not just the defaults the other suites use.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/params.hpp"
+#include "arch/pim_machine.hpp"
+#include "core/array_code.hpp"
+#include "fault/injector.hpp"
+#include "util/rng.hpp"
+
+namespace pimecc {
+namespace {
+
+using Geometry = std::tuple<std::size_t, std::size_t>;  // (n, m)
+
+util::BitMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::BitMatrix mat(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) mat.set(r, c, rng.bernoulli(0.5));
+  }
+  return mat;
+}
+
+class GeometrySweepTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(GeometrySweepTest, ContinuousUpdateStaysConsistentUnderRandomOps) {
+  const auto [n, m] = GetParam();
+  util::BitMatrix data = random_matrix(n, 1000 + n);
+  ecc::ArrayCode code(n, m);
+  code.encode_all(data);
+  util::Rng rng(2000 + n * 31 + m);
+  for (int op = 0; op < 25; ++op) {
+    const bool row_parallel = rng.bernoulli(0.5);
+    const std::size_t line = rng.uniform_below(n);
+    std::vector<ecc::CellWrite> writes;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = row_parallel ? i : line;
+      const std::size_t c = row_parallel ? line : i;
+      const bool old_value = data.get(r, c);
+      const bool new_value = rng.bernoulli(0.5);
+      writes.push_back({r, c, old_value, new_value});
+      data.set(r, c, new_value);
+    }
+    ASSERT_TRUE(code.writes_touch_each_diagonal_once(writes))
+        << "n=" << n << " m=" << m;
+    code.apply_writes(writes);
+  }
+  EXPECT_TRUE(code.consistent_with(data)) << "n=" << n << " m=" << m;
+}
+
+TEST_P(GeometrySweepTest, EverySingleErrorAnywhereIsRepairedByScrub) {
+  const auto [n, m] = GetParam();
+  util::BitMatrix data = random_matrix(n, 3000 + n);
+  const util::BitMatrix golden = data;
+  ecc::ArrayCode code(n, m);
+  code.encode_all(data);
+  util::Rng rng(4000 + n + m);
+  // One error per scrub round, at scattered positions including block
+  // corners and edges.
+  const std::size_t probes[] = {0,
+                                n - 1,
+                                n * (n - 1),
+                                n * n - 1,
+                                n * (m - 1) + m,
+                                (n + 1) * (n / 2)};
+  for (const std::size_t flat : probes) {
+    data.flip(flat / n, flat % n);
+    const ecc::ScrubReport report = code.scrub(data);
+    EXPECT_EQ(report.corrected_data, 1u) << "n=" << n << " m=" << m;
+    EXPECT_EQ(report.uncorrectable, 0u);
+    EXPECT_EQ(data, golden);
+  }
+}
+
+TEST_P(GeometrySweepTest, PimMachineProtocolHoldsAcrossGeometries) {
+  const auto [n, m] = GetParam();
+  arch::ArchParams params;
+  params.n = n;
+  params.m = m;
+  arch::PimMachine machine(params);
+  machine.load(random_matrix(n, 5000 + n));
+  util::Rng rng(6000 + n - m);
+  for (int op = 0; op < 8; ++op) {
+    const std::size_t out = rng.uniform_below(n);
+    std::size_t in1 = (out + 1 + rng.uniform_below(n - 1)) % n;
+    std::size_t in2 = (out + 1 + rng.uniform_below(n - 1)) % n;
+    const std::size_t outs[1] = {out};
+    const std::size_t ins[2] = {in1, in2};
+    if (rng.bernoulli(0.5)) {
+      machine.magic_init_rows_protected(outs);
+      machine.magic_nor_rows_protected(ins, out);
+    } else {
+      machine.magic_init_cols_protected(outs);
+      machine.magic_nor_cols_protected(ins, out);
+    }
+    ASSERT_TRUE(machine.ecc_consistent()) << "n=" << n << " m=" << m;
+  }
+  machine.inject_data_error(n / 2, n / 3);
+  EXPECT_EQ(machine.scrub().corrected_data, 1u);
+  EXPECT_TRUE(machine.ecc_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweepTest,
+    ::testing::Values(Geometry{9, 3}, Geometry{15, 5}, Geometry{21, 7},
+                      Geometry{27, 9}, Geometry{45, 9}, Geometry{55, 11},
+                      Geometry{60, 15}, Geometry{75, 25}, Geometry{105, 21}),
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "m" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+class InjectionSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InjectionSweepTest, ScrubOutcomeAlwaysClassifiesEveryFlip) {
+  // Accounting invariant at any injection volume: every flipped data bit
+  // is either repaired or sits in a block reported uncorrectable.
+  const std::size_t flips = GetParam();
+  const std::size_t n = 45, m = 9;
+  util::BitMatrix data = random_matrix(n, 7000 + flips);
+  const util::BitMatrix golden = data;
+  ecc::ArrayCode code(n, m);
+  code.encode_all(data);
+  util::Rng rng(8000 + flips);
+  fault::inject_flips_everywhere(rng, data, code, flips);
+  const ecc::ScrubReport report = code.scrub(data);
+  const std::size_t residual = data.hamming_distance(golden);
+  if (report.uncorrectable == 0) {
+    EXPECT_EQ(residual, 0u) << flips << " flips";
+  } else {
+    // Residual wrong bits only in flagged blocks (each block holds at most
+    // m*m wrong bits).
+    EXPECT_LE(residual, report.uncorrectable * m * m + report.corrected_data);
+    EXPECT_GT(residual, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Volumes, InjectionSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace pimecc

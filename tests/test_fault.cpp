@@ -1,0 +1,169 @@
+// Unit tests for src/fault: soft-error models and the fault injector.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/array_code.hpp"
+#include "fault/injector.hpp"
+#include "fault/models.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+
+namespace pimecc::fault {
+namespace {
+
+// ----------------------------------------------------------- ConstantRate
+
+TEST(ConstantRateModel, RejectsNegativeRate) {
+  EXPECT_THROW(ConstantRateModel(-1.0), std::invalid_argument);
+  EXPECT_NO_THROW(ConstantRateModel(0.0));
+}
+
+TEST(ConstantRateModel, ProbabilityGrowsWithWindow) {
+  const ConstantRateModel model(1e3);
+  EXPECT_LT(model.flip_probability(1.0), model.flip_probability(24.0));
+  EXPECT_DOUBLE_EQ(model.flip_probability(0.0), 0.0);
+}
+
+TEST(ConstantRateModel, SampleCountNearExpectation) {
+  const ConstantRateModel model(1e6);  // p(24h) = 0.0237
+  util::Rng rng(1);
+  const std::size_t bits = 100000;
+  double total = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(model.sample_flip_count(rng, bits, 24.0));
+  }
+  const double expected =
+      model.flip_probability(24.0) * static_cast<double>(bits);
+  EXPECT_NEAR(total / trials, expected, expected * 0.1);
+}
+
+// ----------------------------------------------------------------- Drift
+
+TEST(DriftModel, ValidatesParameters) {
+  EXPECT_THROW(DriftModel(10, 1.0, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(DriftModel(10, -1.0, 0.1, 1.0), std::invalid_argument);
+}
+
+TEST(DriftModel, CellsFlipAfterCrossingThreshold) {
+  DriftModel model(100, 1.0, 0.0, 10.0);  // deterministic drift 1/h
+  util::Rng rng(3);
+  EXPECT_TRUE(model.advance(rng, 5.0).empty());
+  EXPECT_EQ(model.flipped_count(), 0u);
+  const auto flipped = model.advance(rng, 5.0);  // total 10 >= threshold
+  EXPECT_EQ(flipped.size(), 100u);
+  EXPECT_EQ(model.flipped_count(), 100u);
+}
+
+TEST(DriftModel, RefreshResetsAccumulationButNotFlips) {
+  DriftModel model(10, 1.0, 0.0, 10.0);
+  util::Rng rng(4);
+  model.advance(rng, 9.0);
+  model.refresh();
+  EXPECT_TRUE(model.advance(rng, 9.0).empty());  // accumulator restarted
+  model.advance(rng, 2.0);                       // 11 > threshold
+  EXPECT_EQ(model.flipped_count(), 10u);
+  model.refresh();
+  EXPECT_EQ(model.flipped_count(), 10u);  // already-flipped cells stay bad
+}
+
+TEST(DriftModel, ZeroOrNegativeWindowIsNoOp) {
+  DriftModel model(5, 100.0, 0.0, 1.0);
+  util::Rng rng(5);
+  EXPECT_TRUE(model.advance(rng, 0.0).empty());
+  EXPECT_TRUE(model.advance(rng, -1.0).empty());
+}
+
+// -------------------------------------------------------------- injector
+
+TEST(Injector, FlipsExactlyTheRequestedDistinctCells) {
+  util::Rng rng(6);
+  util::BitMatrix data(20, 20);
+  const InjectionRecord record = inject_data_flips(rng, data, 17);
+  EXPECT_EQ(record.data_flips.size(), 17u);
+  EXPECT_EQ(record.total(), 17u);
+  EXPECT_EQ(data.count(), 17u);  // all flips 0 -> 1, all distinct
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const DataFlip& f : record.data_flips) {
+    EXPECT_TRUE(seen.insert({f.r, f.c}).second);
+    EXPECT_LT(f.r, 20u);
+    EXPECT_LT(f.c, 20u);
+  }
+}
+
+TEST(Injector, CountExceedingPopulationThrows) {
+  util::Rng rng(7);
+  util::BitMatrix data(3, 3);
+  EXPECT_THROW(inject_data_flips(rng, data, 10), std::invalid_argument);
+}
+
+TEST(Injector, EverywhereInjectionHitsDataAndCheckBits) {
+  util::Rng rng(8);
+  const std::size_t n = 15;
+  util::BitMatrix data(n, n);
+  ecc::ArrayCode code(n, 5);
+  code.encode_all(data);
+  // Flip every cell: 225 data + 9 blocks * 10 check bits = 315.
+  const InjectionRecord record = inject_flips_everywhere(rng, data, code, 315);
+  EXPECT_EQ(record.data_flips.size(), 225u);
+  EXPECT_EQ(record.check_flips.size(), 90u);
+  EXPECT_EQ(data.count(), 225u);
+}
+
+TEST(Injector, InjectedErrorsAreVisibleToTheCode) {
+  util::Rng rng(9);
+  const std::size_t n = 15;
+  util::BitMatrix data(n, n);
+  ecc::ArrayCode code(n, 5);
+  code.encode_all(data);
+  EXPECT_TRUE(code.consistent_with(data));
+  inject_flips_everywhere(rng, data, code, 3);
+  EXPECT_FALSE(code.consistent_with(data));
+}
+
+TEST(Injector, BlockInjectionStaysInsideTheBlock) {
+  util::Rng rng(10);
+  const std::size_t n = 15;
+  util::BitMatrix data(n, n);
+  ecc::ArrayCode code(n, 5);
+  code.encode_all(data);
+  const InjectionRecord record =
+      inject_block_flips(rng, data, code, 1, 2, 5, /*include_check_bits=*/false);
+  EXPECT_EQ(record.data_flips.size(), 5u);
+  for (const DataFlip& f : record.data_flips) {
+    EXPECT_GE(f.r, 5u);
+    EXPECT_LT(f.r, 10u);
+    EXPECT_GE(f.c, 10u);
+    EXPECT_LT(f.c, 15u);
+  }
+}
+
+TEST(Injector, BlockInjectionCanTargetCheckBits) {
+  util::Rng rng(11);
+  const std::size_t n = 15;
+  util::BitMatrix data(n, n);
+  ecc::ArrayCode code(n, 5);
+  code.encode_all(data);
+  // 25 data cells + 10 check bits; request all 35.
+  const InjectionRecord record =
+      inject_block_flips(rng, data, code, 0, 0, 35, /*include_check_bits=*/true);
+  EXPECT_EQ(record.data_flips.size(), 25u);
+  EXPECT_EQ(record.check_flips.size(), 10u);
+  for (const CheckFlip& f : record.check_flips) {
+    EXPECT_EQ(f.block_row, 0u);
+    EXPECT_EQ(f.block_col, 0u);
+    EXPECT_LT(f.index, 5u);
+  }
+}
+
+TEST(Injector, DeterministicGivenSeed) {
+  util::BitMatrix a(10, 10), b(10, 10);
+  util::Rng rng_a(99), rng_b(99);
+  inject_data_flips(rng_a, a, 7);
+  inject_data_flips(rng_b, b, 7);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace pimecc::fault

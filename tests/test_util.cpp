@@ -1,0 +1,356 @@
+// Unit tests for src/util: bit containers, RNG, modular math, statistics,
+// table rendering, reliability units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bitmatrix.hpp"
+#include "util/bitvector.hpp"
+#include "util/modmath.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace pimecc::util {
+namespace {
+
+// ---------------------------------------------------------------- BitVector
+
+TEST(BitVector, StartsAllZero) {
+  const BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.none());
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVector, FillConstructorSetsEveryBit) {
+  const BitVector v(70, true);
+  EXPECT_EQ(v.count(), 70u);
+  EXPECT_TRUE(v.all());
+}
+
+TEST(BitVector, SetGetFlipRoundTrip) {
+  BitVector v(100);
+  v.set(63, true);
+  v.set(64, true);
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_FALSE(v.get(65));
+  EXPECT_FALSE(v.flip(63));
+  EXPECT_EQ(v.count(), 1u);
+}
+
+TEST(BitVector, FromStringParsesAndRejects) {
+  const BitVector v = BitVector::from_string("01101");
+  EXPECT_FALSE(v.get(0));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_FALSE(v.get(3));
+  EXPECT_TRUE(v.get(4));
+  EXPECT_EQ(v.to_string(), "01101");
+  EXPECT_THROW(BitVector::from_string("01x"), std::invalid_argument);
+}
+
+TEST(BitVector, AtThrowsOutOfRange) {
+  const BitVector v(10);
+  EXPECT_NO_THROW((void)v.at(9));
+  EXPECT_THROW((void)v.at(10), std::out_of_range);
+}
+
+TEST(BitVector, ParityMatchesCountParity) {
+  BitVector v(200);
+  EXPECT_FALSE(v.parity());
+  v.set(3, true);
+  EXPECT_TRUE(v.parity());
+  v.set(150, true);
+  EXPECT_FALSE(v.parity());
+  v.set(199, true);
+  EXPECT_TRUE(v.parity());
+}
+
+TEST(BitVector, FindFirstAndNextWalkSetBits) {
+  BitVector v(150);
+  v.set(5, true);
+  v.set(64, true);
+  v.set(149, true);
+  EXPECT_EQ(v.find_first(), 5u);
+  EXPECT_EQ(v.find_next(5), 64u);
+  EXPECT_EQ(v.find_next(64), 149u);
+  EXPECT_EQ(v.find_next(149), 150u);
+  EXPECT_EQ(v.set_bits(), (std::vector<std::size_t>{5, 64, 149}));
+}
+
+TEST(BitVector, FindFirstOnEmptyReturnsSize) {
+  const BitVector v(33);
+  EXPECT_EQ(v.find_first(), 33u);
+}
+
+TEST(BitVector, LogicOperatorsMatchSemantics) {
+  const BitVector a = BitVector::from_string("0011");
+  const BitVector b = BitVector::from_string("0101");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((a | b).to_string(), "0111");
+  EXPECT_EQ((a & b).to_string(), "0001");
+  EXPECT_EQ((~a).to_string(), "1100");
+  BitVector nor = a;
+  nor.nor_assign(b);
+  EXPECT_EQ(nor.to_string(), "1000");
+}
+
+TEST(BitVector, InvertKeepsPaddingClean) {
+  BitVector v(67);
+  v.invert();
+  EXPECT_EQ(v.count(), 67u);  // padding bits must not leak into count
+  v.invert();
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(8), b(9);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a.nor_assign(b), std::invalid_argument);
+  EXPECT_THROW((void)a.hamming_distance(b), std::invalid_argument);
+}
+
+TEST(BitVector, HammingDistanceCountsDifferences) {
+  const BitVector a = BitVector::from_string("110010");
+  const BitVector b = BitVector::from_string("011010");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(BitVector, ResizePreservesPrefix) {
+  BitVector v(10);
+  v.set(7, true);
+  v.resize(80);
+  EXPECT_TRUE(v.get(7));
+  EXPECT_EQ(v.count(), 1u);
+}
+
+// ---------------------------------------------------------------- BitMatrix
+
+TEST(BitMatrix, ShapeAndAccess) {
+  BitMatrix m(4, 9);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 9u);
+  m.set(2, 8, true);
+  EXPECT_TRUE(m.get(2, 8));
+  EXPECT_TRUE(m.at(2, 8));
+  EXPECT_THROW((void)m.at(4, 0), std::out_of_range);
+}
+
+TEST(BitMatrix, ColumnExtractAndStore) {
+  BitMatrix m(5, 5);
+  BitVector col(5);
+  col.set(1, true);
+  col.set(4, true);
+  m.set_column(3, col);
+  EXPECT_EQ(m.column(3), col);
+  EXPECT_TRUE(m.get(1, 3));
+  EXPECT_TRUE(m.get(4, 3));
+  EXPECT_EQ(m.count(), 2u);
+}
+
+TEST(BitMatrix, RowReferenceIsLive) {
+  BitMatrix m(3, 8);
+  m.row(1).set(6, true);
+  EXPECT_TRUE(m.get(1, 6));
+}
+
+TEST(BitMatrix, HammingDistanceAndEquality) {
+  BitMatrix a(3, 3), b(3, 3);
+  EXPECT_EQ(a, b);
+  b.flip(2, 2);
+  EXPECT_EQ(a.hamming_distance(b), 1u);
+  EXPECT_NE(a, b);
+  BitMatrix c(3, 4);
+  EXPECT_THROW((void)a.hamming_distance(c), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(9);
+  const std::uint64_t first = a.next();
+  a.next();
+  a.reseed(9);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformBelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_below(37), 37u);
+  }
+}
+
+TEST(Rng, Uniform01IsInHalfOpenInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgesAreDeterministic) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BinomialEdgesAndMean) {
+  Rng rng(8);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  double total = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(rng.binomial(100, 0.3));
+  }
+  EXPECT_NEAR(total / trials, 30.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(10);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-2.0), 0u);
+}
+
+// ------------------------------------------------------------------- modmath
+
+TEST(ModMath, FloorModHandlesNegatives) {
+  EXPECT_EQ(floor_mod(7, 5), 2);
+  EXPECT_EQ(floor_mod(-1, 5), 4);
+  EXPECT_EQ(floor_mod(-5, 5), 0);
+  EXPECT_EQ(floor_mod(-6, 5), 4);
+}
+
+TEST(ModMath, GcdBasics) {
+  EXPECT_EQ(gcd_i64(12, 18), 6);
+  EXPECT_EQ(gcd_i64(0, 7), 7);
+  EXPECT_EQ(gcd_i64(-12, 18), 6);
+}
+
+TEST(ModMath, ModInverseExistsIffCoprime) {
+  EXPECT_EQ(mod_inverse(3, 7).value(), 5);  // 3*5 = 15 = 1 mod 7
+  EXPECT_FALSE(mod_inverse(6, 9).has_value());
+  EXPECT_FALSE(mod_inverse(4, 0).has_value());
+}
+
+class InverseOfTwoTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(InverseOfTwoTest, IsTheModularInverseOfTwo) {
+  const std::int64_t m = GetParam();
+  const std::int64_t inv2 = inverse_of_two(m);
+  EXPECT_EQ(floor_mod(2 * inv2, m), 1 % m);
+  EXPECT_EQ(inv2, mod_inverse(2, m).value_or(-1));
+}
+
+INSTANTIATE_TEST_SUITE_P(OddModuli, InverseOfTwoTest,
+                         ::testing::Values(3, 5, 7, 9, 15, 17, 51, 255, 1021));
+
+TEST(ModMath, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+}
+
+// --------------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_GT(s.ci_halfwidth(), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({1.0, 4.0, 16.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({1.0, 0.0}), 0.0);
+}
+
+TEST(Stats, WilsonIntervalContainsProportion) {
+  const ProportionInterval ci = wilson_interval(30, 100);
+  EXPECT_GT(ci.center, 0.25);
+  EXPECT_LT(ci.center, 0.35);
+  EXPECT_LT(ci.low, 0.30);
+  EXPECT_GT(ci.high, 0.30);
+  const ProportionInterval empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.center, 0.0);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+// --------------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "with,comma"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(format_pct(0.2623, 2), "26.23%");
+  EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+}
+
+// --------------------------------------------------------------------- units
+
+TEST(Units, ErrorProbabilityBasics) {
+  EXPECT_DOUBLE_EQ(error_probability(0.0, 24.0), 0.0);
+  EXPECT_DOUBLE_EQ(error_probability(1.0, 0.0), 0.0);
+  // Tiny-rate regime: p ~ lambda*T/1e9.
+  EXPECT_NEAR(error_probability(1e-3, 24.0), 2.4e-11, 1e-15);
+  // Huge rate saturates at 1.
+  EXPECT_NEAR(error_probability(1e12, 24.0), 1.0, 1e-9);
+}
+
+TEST(Units, FitMttfRoundTrip) {
+  const double fit = probability_to_fit(0.5, 24.0);
+  EXPECT_NEAR(fit, 0.5 * 1e9 / 24.0, 1e-6);
+  EXPECT_NEAR(fit_to_mttf_hours(fit), 1e9 / fit, 1e-9);
+  EXPECT_TRUE(std::isinf(fit_to_mttf_hours(0.0)));
+}
+
+}  // namespace
+}  // namespace pimecc::util
