@@ -8,6 +8,7 @@
 // a tractable trial count; the analytic model is rate-agnostic, so
 // agreement at high rates validates the same formula used at 1e-3 FIT/bit.
 #include <iostream>
+#include <string>
 
 #include "reliability/montecarlo.hpp"
 #include "util/rng.hpp"
@@ -33,12 +34,19 @@ int main() {
     const auto ci = util::wilson_interval(
         static_cast<std::size_t>(result.blocks_failed),
         static_cast<std::size_t>(result.blocks_total));
+    // Append form: `"[" + ...` trips GCC 12's -Wrestrict false positive
+    // (PR 105329) under -O2 -Werror.
+    std::string interval = "[";
+    interval += util::format_sci(ci.low, 2);
+    interval += ", ";
+    interval += util::format_sci(ci.high, 2);
+    interval += ']';
     table.add_row(
         {util::format_sci(fit, 1),
          util::format_sci(fit * 24.0 / 1e9, 2),
          util::format_sci(result.block_failure_rate(), 3),
          util::format_sci(analytic, 3),
-         "[" + util::format_sci(ci.low, 2) + ", " + util::format_sci(ci.high, 2) + "]",
+         interval,
          std::to_string(result.corrected_data + result.corrected_check),
          std::to_string(result.detected_uncorrectable)});
   }

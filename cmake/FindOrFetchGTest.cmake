@@ -1,0 +1,36 @@
+# Provide GTest::gtest / GTest::gtest_main and the gtest_discover_tests()
+# helper.  Resolution order:
+#
+#   1. find_package(GTest) -- distro package (libgtest-dev) or prior install.
+#   2. /usr/src/googletest -- Debian/Ubuntu ship the sources even when the
+#      static libs are absent; build them in-tree.
+#   3. FetchContent download -- only reached when online.
+#
+# FetchContent's FIND_PACKAGE_ARGS (CMake >= 3.24) gives us 1 and 3 in one
+# declaration; step 2 is wired in via FETCHCONTENT_SOURCE_DIR_GOOGLETEST so
+# fully offline machines still configure.
+include_guard(GLOBAL)
+
+include(FetchContent)
+include(GoogleTest)
+
+if(NOT DEFINED FETCHCONTENT_SOURCE_DIR_GOOGLETEST
+   AND EXISTS "/usr/src/googletest/CMakeLists.txt")
+  # Pre-seed the offline fallback; only consulted if find_package fails.
+  set(FETCHCONTENT_SOURCE_DIR_GOOGLETEST "/usr/src/googletest"
+      CACHE PATH "Local googletest source fallback")
+endif()
+
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)  # MSVC runtime match
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+
+FetchContent_Declare(googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  FIND_PACKAGE_ARGS NAMES GTest)
+FetchContent_MakeAvailable(googletest)
+
+# The in-tree build exports gtest/gtest_main without the GTest:: namespace.
+if(NOT TARGET GTest::gtest AND TARGET gtest)
+  add_library(GTest::gtest ALIAS gtest)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+endif()

@@ -1,0 +1,89 @@
+# Helper functions shared by every pimecc CMakeLists.  New tests and benches
+# register with a single line:
+#
+#   pimecc_add_test(test_foo LABELS unit TIMEOUT 60)
+#   pimecc_add_bench(bench_foo)
+#
+include_guard(GLOBAL)
+
+# Apply the project-wide warning flags and include paths to a target.
+function(pimecc_compile_options target)
+  target_compile_options(${target} PRIVATE ${PIMECC_WARNING_FLAGS})
+endfunction()
+
+# pimecc_add_test(<name> [SOURCES <files...>] [LABELS <labels...>] [TIMEOUT <sec>])
+#
+# Builds tests/<name>.cpp (unless SOURCES overrides), links it against the
+# pimecc library and GoogleTest, and registers every TEST() in it with ctest
+# via gtest_discover_tests.  LABELS default to "unit"; TIMEOUT defaults to
+# 120 seconds and is applied per discovered test.
+function(pimecc_add_test name)
+  cmake_parse_arguments(PAT "" "TIMEOUT" "SOURCES;LABELS" ${ARGN})
+  if(NOT PAT_SOURCES)
+    set(PAT_SOURCES ${name}.cpp)
+  endif()
+  if(NOT PAT_LABELS)
+    set(PAT_LABELS unit)
+  endif()
+  if(NOT PAT_TIMEOUT)
+    set(PAT_TIMEOUT 120)
+  endif()
+
+  add_executable(${name} ${PAT_SOURCES})
+  target_link_libraries(${name} PRIVATE pimecc GTest::gtest GTest::gtest_main)
+  pimecc_compile_options(${name})
+
+  gtest_discover_tests(${name}
+    TEST_LIST ${name}_TESTS
+    DISCOVERY_TIMEOUT 60)
+
+  # gtest_discover_tests flattens list-valued PROPERTIES (its serializer
+  # re-splits every value), so multi-label sets cannot be passed through it.
+  # Instead, append our own ctest include file that runs after discovery and
+  # stamps LABELS/TIMEOUT onto the discovered tests via TEST_LIST.
+  set(fixup "${CMAKE_CURRENT_BINARY_DIR}/${name}_props.cmake")
+  file(WRITE "${fixup}"
+    "if(${name}_TESTS)\n"
+    "  set_tests_properties(\${${name}_TESTS} PROPERTIES\n"
+    "    LABELS [==[${PAT_LABELS}]==] TIMEOUT ${PAT_TIMEOUT})\n"
+    "endif()\n")
+  set_property(DIRECTORY APPEND PROPERTY TEST_INCLUDE_FILES "${fixup}")
+endfunction()
+
+# pimecc_add_bench(<name> [SOURCES <files...>])
+#
+# Builds bench/<name>.cpp as a standalone executable linked against pimecc.
+# Benches are not registered with ctest (they are long-running by design);
+# use the aggregate `benches` target to build them all.
+function(pimecc_add_bench name)
+  cmake_parse_arguments(PAB "" "" "SOURCES" ${ARGN})
+  if(NOT PAB_SOURCES)
+    set(PAB_SOURCES ${name}.cpp)
+  endif()
+  add_executable(${name} ${PAB_SOURCES})
+  target_link_libraries(${name} PRIVATE pimecc)
+  pimecc_compile_options(${name})
+  if(NOT TARGET benches)
+    add_custom_target(benches)
+  endif()
+  add_dependencies(benches ${name})
+endfunction()
+
+# pimecc_add_example(<name> [SOURCES <files...>] [SMOKE] [SMOKE_ARGS <args...>])
+#
+# Builds examples/<name>.cpp.  With SMOKE, also registers the binary as a
+# ctest smoke test (label "smoke integration") so examples cannot silently rot.
+function(pimecc_add_example name)
+  cmake_parse_arguments(PAE "SMOKE" "" "SOURCES;SMOKE_ARGS" ${ARGN})
+  if(NOT PAE_SOURCES)
+    set(PAE_SOURCES ${name}.cpp)
+  endif()
+  add_executable(${name} ${PAE_SOURCES})
+  target_link_libraries(${name} PRIVATE pimecc)
+  pimecc_compile_options(${name})
+  if(PAE_SMOKE)
+    add_test(NAME example.${name} COMMAND ${name} ${PAE_SMOKE_ARGS})
+    set_tests_properties(example.${name} PROPERTIES
+      LABELS "smoke;integration" TIMEOUT 120)
+  endif()
+endfunction()

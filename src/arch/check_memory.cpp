@@ -5,8 +5,9 @@
 namespace pimecc::arch {
 
 CheckMemory::CheckMemory(const ArchParams& params)
-    : m_(params.m), blocks_(params.blocks_per_side()) {
-  params.validate();
+    // Validate before blocks_per_side(): it divides by m, so an invalid
+    // m = 0 must throw rather than reach the division.
+    : m_((params.validate(), params.m)), blocks_(params.blocks_per_side()) {
   xbars_.reserve(2 * m_);
   for (std::size_t i = 0; i < 2 * m_; ++i) {
     xbars_.emplace_back(blocks_, blocks_);

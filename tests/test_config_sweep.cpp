@@ -109,8 +109,13 @@ INSTANTIATE_TEST_SUITE_P(
                       Geometry{27, 9}, Geometry{45, 9}, Geometry{55, 11},
                       Geometry{60, 15}, Geometry{75, 25}, Geometry{105, 21}),
     [](const auto& param_info) {
-      return "n" + std::to_string(std::get<0>(param_info.param)) + "m" +
-             std::to_string(std::get<1>(param_info.param));
+      // Append form: `"n" + std::to_string(...)` trips GCC 12's -Wrestrict
+      // false positive (PR 105329) under -O2 -Werror.
+      std::string name = "n";
+      name += std::to_string(std::get<0>(param_info.param));
+      name += 'm';
+      name += std::to_string(std::get<1>(param_info.param));
+      return name;
     });
 
 class InjectionSweepTest : public ::testing::TestWithParam<std::size_t> {};

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Canonical local CI gate: configure + build + ctest in Debug and Release.
+# Run from anywhere; builds land in <repo>/build-ci-{debug,release}.
+#
+# Usage: tools/ci.sh [--werror] [extra cmake args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake_args=()
+if [[ "${1:-}" == "--werror" ]]; then
+  cmake_args+=(-DPIMECC_WERROR=ON)
+  shift
+fi
+cmake_args+=("$@")
+
+for config in Debug Release; do
+  # tr, not ${config,,}: macOS ships bash 3.2 which lacks case expansion.
+  build_dir="$repo/build-ci-$(tr '[:upper:]' '[:lower:]' <<<"$config")"
+  echo "==== [$config] configure ===="
+  cmake -B "$build_dir" -S "$repo" -DCMAKE_BUILD_TYPE="$config" "${cmake_args[@]+"${cmake_args[@]}"}"
+  echo "==== [$config] build ===="
+  cmake --build "$build_dir" -j "$jobs"
+  echo "==== [$config] test ===="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+done
+
+echo "==== CI gate passed (Debug + Release) ===="
