@@ -1,0 +1,242 @@
+// Engine throughput harness: measures the word-parallel execution engine
+// against the bit-serial reference on both hot paths and emits
+// machine-readable BENCH_engine.json so the perf trajectory is tracked
+// from PR 2 onward.
+//
+//   1. Crossbar MAGIC NOR, all lanes, both orientations: init+NOR pairs on
+//      an n x n array, word-parallel Crossbar vs bit-serial
+//      ReferenceCrossbar, reported as lanes/second and speedup.
+//   2. Monte Carlo reliability: run_montecarlo trials/second across a
+//      thread-count sweep, with the determinism cross-check (results must
+//      be bit-identical for every thread count) recorded in the output.
+//
+// Usage: bench_engine_throughput [--smoke] [--out=PATH]
+//   --smoke    fast CI configuration (small array, few trials)
+//   --out=PATH where to write the JSON (default: BENCH_engine.json in cwd)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reliability/montecarlo.hpp"
+#include "util/rng.hpp"
+#include "xbar/crossbar.hpp"
+#include "xbar/reference_crossbar.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+template <typename Xbar>
+void randomize(Xbar& xb, pimecc::util::Rng& rng) {
+  for (std::size_t r = 0; r < xb.rows(); ++r) {
+    for (std::size_t c = 0; c < xb.cols(); ++c) {
+      xb.poke(r, c, rng.bernoulli(0.5));
+    }
+  }
+}
+
+/// Runs batches of all-lane ops until at least `min_seconds` elapsed and
+/// returns NOR lanes per second.  With `with_init`, each NOR is preceded by
+/// the LRS initialization of its output line (the full gate sequence);
+/// without it, a pure magic_nor stream is measured.  The output line cycles
+/// so successive gates touch different cells, like a real mapped netlist.
+template <typename Xbar>
+double measure_nor_lanes_per_sec(Xbar& xb, pimecc::xbar::Orientation o,
+                                 bool with_init, double min_seconds,
+                                 std::size_t batch) {
+  using pimecc::xbar::Orientation;
+  const std::size_t lines = o == Orientation::kRow ? xb.cols() : xb.rows();
+  const std::size_t lanes = o == Orientation::kRow ? xb.rows() : xb.cols();
+  const std::size_t ins[2] = {0, 1};
+  std::size_t nors = 0;
+  std::size_t next_out = 2;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (with_init) {
+        const std::size_t out[1] = {next_out};
+        xb.magic_init(o, out);
+      }
+      (void)xb.magic_nor(o, ins, next_out);
+      if (++next_out == lines) next_out = 2;
+    }
+    nors += batch;
+    elapsed = seconds_since(start);
+  } while (elapsed < min_seconds);
+  return static_cast<double>(nors) * static_cast<double>(lanes) / elapsed;
+}
+
+struct McPoint {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  double trials_per_sec = 0.0;
+  double speedup_vs_1 = 0.0;
+};
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pimecc;
+  using xbar::Orientation;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_engine_throughput [--smoke] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t n = smoke ? 256 : 1024;
+  const double min_seconds = smoke ? 0.02 : 0.25;
+  const std::size_t batch = smoke ? 8 : 32;
+
+  // ---------------------------------------------------------------- xbar
+  struct OrientationResult {
+    const char* name;
+    double ref_nor_lanes_per_sec;
+    double fast_nor_lanes_per_sec;
+    double nor_speedup;
+    double ref_pair_lanes_per_sec;
+    double fast_pair_lanes_per_sec;
+    double pair_speedup;
+  };
+  std::vector<OrientationResult> xbar_results;
+  for (const Orientation o : {Orientation::kRow, Orientation::kColumn}) {
+    util::Rng rng(0xBE7C'11ull);
+    xbar::Crossbar fast(n, n);
+    randomize(fast, rng);
+    rng.reseed(0xBE7C'11ull);
+    xbar::ReferenceCrossbar ref(n, n);
+    randomize(ref, rng);
+
+    OrientationResult r;
+    r.name = o == Orientation::kRow ? "row" : "column";
+    r.ref_nor_lanes_per_sec =
+        measure_nor_lanes_per_sec(ref, o, false, min_seconds, batch);
+    r.fast_nor_lanes_per_sec =
+        measure_nor_lanes_per_sec(fast, o, false, min_seconds, batch);
+    r.nor_speedup = r.fast_nor_lanes_per_sec / r.ref_nor_lanes_per_sec;
+    r.ref_pair_lanes_per_sec =
+        measure_nor_lanes_per_sec(ref, o, true, min_seconds, batch);
+    r.fast_pair_lanes_per_sec =
+        measure_nor_lanes_per_sec(fast, o, true, min_seconds, batch);
+    r.pair_speedup = r.fast_pair_lanes_per_sec / r.ref_pair_lanes_per_sec;
+    xbar_results.push_back(r);
+    std::cout << "magic_nor " << n << "x" << n << " all-lane (" << r.name
+              << " orientation): reference " << fmt(r.ref_nor_lanes_per_sec)
+              << " lanes/s, word-parallel " << fmt(r.fast_nor_lanes_per_sec)
+              << " lanes/s, speedup " << fmt(r.nor_speedup) << "x (init+nor pair: "
+              << fmt(r.pair_speedup) << "x)\n";
+  }
+
+  // ---------------------------------------------------------- monte carlo
+  rel::MonteCarloConfig config;
+  config.n = smoke ? 60 : 120;
+  config.m = 15;
+  config.fit_per_bit = 1e6;
+  config.window_hours = 24.0;
+  config.trials = smoke ? 200 : 2000;
+
+  std::vector<McPoint> mc_points;
+  bool deterministic = true;
+  rel::MonteCarloResult baseline;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    config.threads = threads;
+    util::Rng rng(0xF16'6ull);
+    const auto start = Clock::now();
+    const rel::MonteCarloResult result = rel::run_montecarlo(config, rng);
+    const double elapsed = seconds_since(start);
+    if (threads == 1) {
+      baseline = result;
+    } else if (!(result == baseline)) {
+      deterministic = false;
+    }
+    McPoint point;
+    point.threads = threads;
+    point.seconds = elapsed;
+    point.trials_per_sec = static_cast<double>(config.trials) / elapsed;
+    point.speedup_vs_1 =
+        mc_points.empty() ? 1.0 : point.trials_per_sec / mc_points[0].trials_per_sec;
+    mc_points.push_back(point);
+    std::cout << "montecarlo n=" << config.n << " trials=" << config.trials
+              << " threads=" << threads << ": " << fmt(point.trials_per_sec)
+              << " trials/s (speedup " << fmt(point.speedup_vs_1) << "x)\n";
+  }
+  std::cout << "deterministic across thread counts: "
+            << (deterministic ? "yes" : "NO -- BUG") << "\n";
+
+  // ----------------------------------------------------------------- json
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"schema\": \"pimecc-bench-engine/1\",\n"
+       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"xbar\": {\n"
+       << "    \"n\": " << n << ",\n";
+  for (std::size_t i = 0; i < xbar_results.size(); ++i) {
+    const OrientationResult& r = xbar_results[i];
+    json << "    \"" << r.name << "\": {\n"
+         << "      \"nor\": {\"reference_lanes_per_sec\": "
+         << fmt(r.ref_nor_lanes_per_sec) << ", \"word_parallel_lanes_per_sec\": "
+         << fmt(r.fast_nor_lanes_per_sec) << ", \"speedup\": "
+         << fmt(r.nor_speedup) << "},\n"
+         << "      \"init_nor_pair\": {\"reference_lanes_per_sec\": "
+         << fmt(r.ref_pair_lanes_per_sec) << ", \"word_parallel_lanes_per_sec\": "
+         << fmt(r.fast_pair_lanes_per_sec) << ", \"speedup\": "
+         << fmt(r.pair_speedup) << "}\n"
+         << "    },\n";
+  }
+  const double min_speedup =
+      std::min(xbar_results[0].nor_speedup, xbar_results[1].nor_speedup);
+  json << "    \"min_nor_speedup\": " << fmt(min_speedup) << "\n"
+       << "  },\n"
+       << "  \"montecarlo\": {\n"
+       << "    \"n\": " << config.n << ",\n"
+       << "    \"m\": " << config.m << ",\n"
+       << "    \"fit_per_bit\": " << fmt(config.fit_per_bit) << ",\n"
+       << "    \"trials\": " << config.trials << ",\n"
+       << "    \"deterministic_across_threads\": "
+       << (deterministic ? "true" : "false") << ",\n"
+       << "    \"thread_sweep\": [\n";
+  for (std::size_t i = 0; i < mc_points.size(); ++i) {
+    const McPoint& p = mc_points[i];
+    json << "      {\"threads\": " << p.threads << ", \"seconds\": "
+         << fmt(p.seconds) << ", \"trials_per_sec\": " << fmt(p.trials_per_sec)
+         << ", \"speedup_vs_1\": " << fmt(p.speedup_vs_1) << "}"
+         << (i + 1 < mc_points.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n"
+       << "  }\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return deterministic ? 0 : 1;
+}

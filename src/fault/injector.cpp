@@ -1,5 +1,6 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -8,6 +9,9 @@ namespace pimecc::fault {
 namespace {
 
 /// Samples `count` distinct values in [0, population) (Floyd's algorithm).
+/// Returned sorted: hash-set iteration order is implementation-defined, and
+/// the deterministic Monte Carlo engine needs the injection record to
+/// depend only on the rng stream, not on container internals.
 std::vector<std::size_t> sample_distinct(util::Rng& rng, std::size_t population,
                                          std::size_t count) {
   if (count > population) {
@@ -19,7 +23,9 @@ std::vector<std::size_t> sample_distinct(util::Rng& rng, std::size_t population,
     const std::size_t t = static_cast<std::size_t>(rng.uniform_below(j + 1));
     if (!chosen.insert(t).second) chosen.insert(j);
   }
-  return {chosen.begin(), chosen.end()};
+  std::vector<std::size_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 CheckFlip apply_check_flip(ecc::ArrayCode& code, std::size_t block_row,

@@ -6,9 +6,20 @@
 // the crossbar) retains an uncorrected/miscorrected error.  Used by
 // bench_montecarlo_mttf and the reliability tests to confirm the analytic
 // block-failure probabilities.
+//
+// Trials are independent and run on a pool of worker threads.  Determinism
+// is guaranteed by construction: exactly one 64-bit base seed is drawn from
+// the caller's generator, the golden image comes from substream 0 and trial
+// t from substream t+1 (util::Rng::for_stream), and all result fields are
+// commutative integer sums -- so on a given platform the result is
+// bit-identical for any thread count, and the caller's generator advances
+// by the same single draw.  (Across standard libraries the stream differs:
+// Rng::binomial delegates to std::binomial_distribution, whose algorithm
+// is implementation-defined.)
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "util/rng.hpp"
 
@@ -22,6 +33,7 @@ struct MonteCarloConfig {
   double window_hours = 24.0;
   std::size_t trials = 1000;
   bool include_check_bits = true;
+  std::size_t threads = 1;  ///< worker threads; 0 = hardware concurrency
 };
 
 /// Aggregated outcome.
@@ -44,11 +56,16 @@ struct MonteCarloResult {
                       : 0.0;
   }
   [[nodiscard]] double block_failure_rate() const noexcept;
+
+  bool operator==(const MonteCarloResult&) const noexcept = default;
 };
 
 /// Runs the experiment: per trial, sample a binomial flip count over all
 /// vulnerable cells, inject, scrub once, and compare the repaired data
-/// against the pre-fault golden image.
+/// against the pre-fault golden image (row-XOR against per-block column
+/// masks; no per-bit scanning).  Draws exactly one value from `rng` and
+/// derives all per-trial randomness from it; see the file comment for the
+/// determinism guarantees.
 [[nodiscard]] MonteCarloResult run_montecarlo(const MonteCarloConfig& config,
                                               util::Rng& rng);
 

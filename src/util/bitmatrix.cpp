@@ -41,10 +41,36 @@ BitVector& BitMatrix::row(std::size_t r) {
 }
 
 BitVector BitMatrix::column(std::size_t c) const {
-  if (c >= cols_) throw std::out_of_range("BitMatrix::column: index out of range");
-  BitVector v(rows_);
-  for (std::size_t r = 0; r < rows_; ++r) v.set(r, get(r, c));
+  BitVector v;
+  column_into(c, v);
   return v;
+}
+
+void BitMatrix::column_into(std::size_t c, BitVector& out) const {
+  // Validate before touching `out`: a throwing call must not clobber the
+  // caller's buffer.
+  if (c >= cols_) {
+    throw std::out_of_range("BitMatrix::column_into: index out of range");
+  }
+  out.resize(rows_);
+  out.fill(false);
+  or_column_into(c, out);
+}
+
+void BitMatrix::or_column_into(std::size_t c, BitVector& acc) const {
+  if (c >= cols_) {
+    throw std::out_of_range("BitMatrix::or_column_into: index out of range");
+  }
+  if (acc.size() != rows_) {
+    throw std::invalid_argument("BitMatrix::or_column_into: length mismatch");
+  }
+  const std::size_t wi = c / BitVector::kWordBits;
+  const unsigned shift = static_cast<unsigned>(c % BitVector::kWordBits);
+  const std::span<BitVector::Word> acc_words = acc.words_mutable();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const BitVector::Word bit = (rows_storage_[r].words()[wi] >> shift) & 1u;
+    acc_words[r / BitVector::kWordBits] |= bit << (r % BitVector::kWordBits);
+  }
 }
 
 void BitMatrix::set_column(std::size_t c, const BitVector& values) {
@@ -52,7 +78,24 @@ void BitMatrix::set_column(std::size_t c, const BitVector& values) {
   if (values.size() != rows_) {
     throw std::invalid_argument("BitMatrix::set_column: length mismatch");
   }
-  for (std::size_t r = 0; r < rows_; ++r) set(r, c, values.get(r));
+  const std::size_t wi = c / BitVector::kWordBits;
+  const unsigned shift = static_cast<unsigned>(c % BitVector::kWordBits);
+  const BitVector::Word mask = BitVector::Word{1} << shift;
+  const std::span<const BitVector::Word> value_words = values.words();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const BitVector::Word bit =
+        (value_words[r / BitVector::kWordBits] >> (r % BitVector::kWordBits)) & 1u;
+    BitVector::Word& w = rows_storage_[r].words_mutable()[wi];
+    w = (w & ~mask) | (bit << shift);
+  }
+}
+
+void BitMatrix::row_assign_masked(std::size_t r, const BitVector& values,
+                                  const BitVector& mask) {
+  if (r >= rows_) {
+    throw std::out_of_range("BitMatrix::row_assign_masked: index out of range");
+  }
+  rows_storage_[r].assign_masked(values, mask);
 }
 
 void BitMatrix::fill(bool value) noexcept {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/bitvector.hpp"
@@ -35,10 +36,28 @@ class BitMatrix {
   [[nodiscard]] const BitVector& row(std::size_t r) const;
   [[nodiscard]] BitVector& row(std::size_t r);
 
+  /// Direct, bounds-unchecked view of the row storage (one BitVector per
+  /// row), inlineable into engine hot loops.  Prefer row()/column() in
+  /// non-critical code.
+  [[nodiscard]] std::span<BitVector> rows_span() noexcept { return rows_storage_; }
+  [[nodiscard]] std::span<const BitVector> rows_span() const noexcept {
+    return rows_storage_;
+  }
+
   /// Extracts column `c` as a BitVector of length rows().
   [[nodiscard]] BitVector column(std::size_t c) const;
+  /// Extracts column `c` into `out` (resized to rows()); allocation-free
+  /// once `out` has capacity.  One word read + one shift/OR per row.
+  void column_into(std::size_t c, BitVector& out) const;
+  /// ORs column `c` into `acc` (length must equal rows()), for folding
+  /// several columns into one row-indexed vector without temporaries.
+  void or_column_into(std::size_t c, BitVector& acc) const;
   /// Overwrites column `c` from `values` (length must equal rows()).
   void set_column(std::size_t c, const BitVector& values);
+  /// row(r) <- (row(r) AND NOT mask) OR (values AND mask): lane-masked row
+  /// update; `values` and `mask` must have length cols().
+  void row_assign_masked(std::size_t r, const BitVector& values,
+                         const BitVector& mask);
 
   void fill(bool value) noexcept;
 

@@ -139,6 +139,32 @@ void BitVector::nor_assign(const BitVector& other) {
   clear_padding();
 }
 
+BitVector& BitVector::assign_masked(const BitVector& src, const BitVector& mask) {
+  require_same_size(src);
+  require_same_size(mask);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = (words_[i] & ~mask.words_[i]) | (src.words_[i] & mask.words_[i]);
+  }
+  return *this;
+}
+
+bool BitVector::intersects(const BitVector& other) const {
+  require_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::size_t BitVector::count_and_not(const BitVector& other) const {
+  require_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
+  }
+  return total;
+}
+
 std::size_t BitVector::hamming_distance(const BitVector& other) const {
   require_same_size(other);
   std::size_t total = 0;

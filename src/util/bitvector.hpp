@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,18 @@ class BitVector {
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  // --- word-level access (the word-parallel engine's fast path) -----------
+  /// Number of backing 64-bit words.
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+  /// Read-only view of the backing words.  Bits at positions >= size() in
+  /// the last word are guaranteed zero (class invariant).
+  [[nodiscard]] std::span<const Word> words() const noexcept { return words_; }
+  /// Mutable view of the backing words.  A caller that may set bits beyond
+  /// size() must call sanitize() before using any other member.
+  [[nodiscard]] std::span<Word> words_mutable() noexcept { return words_; }
+  /// Re-establishes the padding invariant after raw word writes.
+  void sanitize() noexcept { clear_padding(); }
 
   /// Unchecked bit read (asserts in debug builds).
   [[nodiscard]] bool get(std::size_t i) const noexcept;
@@ -85,6 +98,13 @@ class BitVector {
   void invert() noexcept;
   /// this <- NOR(this, other) == NOT(this OR other); MAGIC's native gate.
   void nor_assign(const BitVector& other);
+  /// this <- (this AND NOT mask) OR (src AND mask): keeps this where the
+  /// mask is 0 and takes `src` where the mask is 1 (lane-masked update).
+  BitVector& assign_masked(const BitVector& src, const BitVector& mask);
+  /// True iff (this AND other) has at least one set bit; no allocation.
+  [[nodiscard]] bool intersects(const BitVector& other) const;
+  /// popcount(this AND NOT other); no allocation.  Sizes must match.
+  [[nodiscard]] std::size_t count_and_not(const BitVector& other) const;
 
   [[nodiscard]] friend BitVector operator^(BitVector a, const BitVector& b) {
     a ^= b;

@@ -27,6 +27,55 @@ void Rng::reseed(std::uint64_t seed) {
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
 }
 
+void Rng::advance_by(const std::uint64_t (&polynomial)[4]) noexcept {
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t mask : polynomial) {
+    for (int b = 0; b < 64; ++b) {
+      if (mask & (std::uint64_t{1} << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (void)next();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+void Rng::jump() noexcept {
+  // Blackman & Vigna's jump polynomial for xoshiro256**: equivalent to
+  // 2^128 next() calls.
+  static constexpr std::uint64_t kJump[4] = {
+      0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+      0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+  advance_by(kJump);
+}
+
+void Rng::long_jump() noexcept {
+  // The 2^192-step long-jump polynomial.
+  static constexpr std::uint64_t kLongJump[4] = {
+      0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull,
+      0x77710069854ee241ull, 0x39109bb02acbe635ull};
+  advance_by(kLongJump);
+}
+
+Rng Rng::for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Hash the (seed, stream) pair into a fresh SplitMix64 starting point so
+  // consecutive stream indices yield decorrelated xoshiro states.  Also
+  // distinct from reseed(seed) itself (stream 0 included) because the seed
+  // is mixed once before the stream is folded in.
+  std::uint64_t sm = seed;
+  sm = splitmix64(sm) ^ (stream * 0xD1342543DE82EF95ull + 0x9E3779B97F4A7C15ull);
+  Rng r;
+  for (auto& s : r.state_) s = splitmix64(sm);
+  if ((r.state_[0] | r.state_[1] | r.state_[2] | r.state_[3]) == 0) r.state_[0] = 1;
+  return r;
+}
+
 std::uint64_t Rng::next() noexcept {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

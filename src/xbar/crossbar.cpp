@@ -9,9 +9,13 @@ Crossbar::Crossbar(std::size_t n_rows, std::size_t n_cols) : mat_(n_rows, n_cols
   if (n_rows == 0 || n_cols == 0) {
     throw std::invalid_argument("Crossbar: dimensions must be positive");
   }
+  ones_cols_ = util::BitVector(n_cols, true);
 }
 
 void Crossbar::write_row(std::size_t r, const util::BitVector& data) {
+  if (r >= rows()) {
+    throw std::out_of_range("Crossbar::write_row: row out of range");
+  }
   if (data.size() != cols()) {
     throw std::invalid_argument("Crossbar::write_row: size mismatch");
   }
@@ -20,16 +24,28 @@ void Crossbar::write_row(std::size_t r, const util::BitVector& data) {
 }
 
 void Crossbar::write_column(std::size_t c, const util::BitVector& data) {
+  if (c >= cols()) {
+    throw std::out_of_range("Crossbar::write_column: column out of range");
+  }
+  if (data.size() != rows()) {
+    throw std::invalid_argument("Crossbar::write_column: size mismatch");
+  }
   mat_.set_column(c, data);
   ++cycles_;
 }
 
 util::BitVector Crossbar::read_row(std::size_t r) {
+  if (r >= rows()) {
+    throw std::out_of_range("Crossbar::read_row: row out of range");
+  }
   ++cycles_;
   return mat_.row(r);
 }
 
 util::BitVector Crossbar::read_column(std::size_t c) {
+  if (c >= cols()) {
+    throw std::out_of_range("Crossbar::read_column: column out of range");
+  }
   ++cycles_;
   return mat_.column(c);
 }
@@ -43,8 +59,11 @@ void Crossbar::write_bit(std::size_t r, std::size_t c, bool value) {
 }
 
 bool Crossbar::read_bit(std::size_t r, std::size_t c) {
+  if (r >= rows() || c >= cols()) {
+    throw std::out_of_range("Crossbar::read_bit: index out of range");
+  }
   ++cycles_;
-  return mat_.at(r, c);
+  return mat_.get(r, c);
 }
 
 void Crossbar::check_line(Orientation o, std::size_t line, const char* what) const {
@@ -60,26 +79,72 @@ void Crossbar::check_lane(Orientation o, std::size_t lane) const {
   }
 }
 
+const util::BitVector& Crossbar::col_lane_mask(std::span<const std::size_t> lanes,
+                                               bool require_distinct) {
+  if (lanes.empty()) return ones_cols_;
+  lane_mask_.resize(cols());
+  lane_mask_.fill(false);
+  for (const std::size_t lane : lanes) {
+    check_lane(Orientation::kColumn, lane);
+    if (require_distinct && lane_mask_.get(lane)) {
+      throw std::invalid_argument("Crossbar: duplicate lane");
+    }
+    lane_mask_.set(lane, true);
+  }
+  return lane_mask_;
+}
+
+void Crossbar::check_lanes_distinct(Orientation o,
+                                    std::span<const std::size_t> lanes) {
+  if (lanes.empty()) return;
+  lane_mask_.resize(lane_count(o));
+  lane_mask_.fill(false);
+  for (const std::size_t lane : lanes) {
+    check_lane(o, lane);
+    if (lane_mask_.get(lane)) {
+      throw std::invalid_argument("Crossbar: duplicate lane");
+    }
+    lane_mask_.set(lane, true);
+  }
+}
+
 void Crossbar::magic_init(Orientation o, std::span<const std::size_t> lines,
                           std::span<const std::size_t> lanes) {
   for (const std::size_t line : lines) check_line(o, line, "init");
   for (const std::size_t lane : lanes) check_lane(o, lane);
 
-  auto init_cell = [&](std::size_t lane, std::size_t line) {
-    if (o == Orientation::kRow) {
-      mat_.set(lane, line, true);
+  if (o == Orientation::kRow) {
+    // Lines are columns.  For wide batches, OR one column mask into each
+    // selected row (cols/64 word ops per row); for narrow batches a single
+    // word-OR per (row, line) touches far less memory.
+    const std::span<util::BitVector> row_store = mat_.rows_span();
+    if (lines.size() > mat_.cols() / util::BitVector::kWordBits) {
+      acc_.resize(cols());
+      acc_.fill(false);
+      for (const std::size_t line : lines) acc_.set(line, true);
+      if (lanes.empty()) {
+        for (util::BitVector& row : row_store) row |= acc_;
+      } else {
+        for (const std::size_t lane : lanes) row_store[lane] |= acc_;
+      }
     } else {
-      mat_.set(line, lane, true);
-    }
-  };
-  if (lanes.empty()) {
-    for (std::size_t lane = 0; lane < lane_count(o); ++lane) {
-      for (const std::size_t line : lines) init_cell(lane, line);
+      for (const std::size_t line : lines) {
+        const std::size_t wi = line / util::BitVector::kWordBits;
+        const util::BitVector::Word bit = util::BitVector::Word{1}
+                                          << (line % util::BitVector::kWordBits);
+        if (lanes.empty()) {
+          for (util::BitVector& row : row_store) row.words_mutable()[wi] |= bit;
+        } else {
+          for (const std::size_t lane : lanes) {
+            row_store[lane].words_mutable()[wi] |= bit;
+          }
+        }
+      }
     }
   } else {
-    for (const std::size_t lane : lanes) {
-      for (const std::size_t line : lines) init_cell(lane, line);
-    }
+    // Lines are rows: OR the lane (column) mask into each selected row.
+    const util::BitVector& mask = col_lane_mask(lanes, /*require_distinct=*/false);
+    for (const std::size_t line : lines) mat_.row(line) |= mask;
   }
   ++cycles_;
   ++init_cycles_;
@@ -98,34 +163,76 @@ OpResult Crossbar::magic_nor(Orientation o, std::span<const std::size_t> in_line
     }
   }
   check_line(o, out_line, "output");
-  for (const std::size_t lane : lanes) check_lane(o, lane);
 
   OpResult result;
-  auto get_cell = [&](std::size_t lane, std::size_t line) {
-    return o == Orientation::kRow ? mat_.get(lane, line) : mat_.get(line, lane);
-  };
-  auto apply_lane = [&](std::size_t lane) {
-    bool any_input_set = false;
-    for (const std::size_t line : in_lines) {
-      any_input_set = any_input_set || get_cell(lane, line);
-    }
-    const bool nor_value = !any_input_set;
-    const bool out_was_lrs = get_cell(lane, out_line);
-    if (!out_was_lrs) ++result.violations;
+  result.lanes = lanes.empty() ? lane_count(o) : lanes.size();
+  if (o == Orientation::kColumn) {
+    const util::BitVector& mask = col_lane_mask(lanes, /*require_distinct=*/true);
+    // Lanes are columns, lines are rows: the whole gate is direct row ops.
+    acc_ = mat_.row(in_lines[0]);
+    for (std::size_t i = 1; i < in_lines.size(); ++i) acc_ |= mat_.row(in_lines[i]);
+    acc_.invert();  // logical NOR of all inputs, per lane
+    util::BitVector& out = mat_.row(out_line);
+    result.violations = mask.count_and_not(out);
     // Physics: NOR can only switch LRS->HRS; an uninitialized (HRS) output
     // stays HRS regardless of the logical NOR value.
-    const bool driven = out_was_lrs ? nor_value : false;
-    if (o == Orientation::kRow) {
-      mat_.set(lane, out_line, driven);
-    } else {
-      mat_.set(out_line, lane, driven);
-    }
-    ++result.lanes;
-  };
-  if (lanes.empty()) {
-    for (std::size_t lane = 0; lane < lane_count(o); ++lane) apply_lane(lane);
+    acc_ &= out;
+    out.assign_masked(acc_, mask);
   } else {
-    for (const std::size_t lane : lanes) apply_lane(lane);
+    // Lanes are rows, lines are columns: one fused pass per selected row --
+    // read the input column bits and the output bit from that row's words,
+    // apply the physics, write the output bit back.  A single row touch per
+    // lane instead of separate gather/scatter column walks.  Word offsets
+    // and shifts are resolved once, outside the lane loop; fan-in 1 and 2
+    // (NOT and the dominant NOR shape) get branch-free specializations.
+    check_lanes_distinct(o, lanes);
+    const std::span<util::BitVector> row_store = mat_.rows_span();
+    using Word = util::BitVector::Word;
+    constexpr std::size_t kWordBits = util::BitVector::kWordBits;
+    const std::size_t out_wi = out_line / kWordBits;
+    const unsigned out_shift = static_cast<unsigned>(out_line % kWordBits);
+    const Word out_bit_mask = Word{1} << out_shift;
+    line_refs_.clear();
+    for (const std::size_t line : in_lines) {
+      line_refs_.push_back(
+          {line / kWordBits, static_cast<unsigned>(line % kWordBits)});
+    }
+    std::size_t violations = 0;
+    auto finish_row = [&](std::span<Word> words, Word any) {
+      const Word out_was_lrs = (words[out_wi] >> out_shift) & 1u;
+      violations += static_cast<std::size_t>(out_was_lrs ^ 1u);
+      const Word driven = out_was_lrs & (any ^ 1u);
+      words[out_wi] = (words[out_wi] & ~out_bit_mask) | (driven << out_shift);
+    };
+    auto for_each_lane = [&](auto&& per_row) {
+      if (lanes.empty()) {
+        for (util::BitVector& row : row_store) per_row(row.words_mutable());
+      } else {
+        for (const std::size_t lane : lanes) {
+          per_row(row_store[lane].words_mutable());
+        }
+      }
+    };
+    if (line_refs_.size() == 1) {
+      const LineRef a = line_refs_[0];
+      for_each_lane([&](std::span<Word> words) {
+        finish_row(words, (words[a.wi] >> a.shift) & 1u);
+      });
+    } else if (line_refs_.size() == 2) {
+      const LineRef a = line_refs_[0];
+      const LineRef b = line_refs_[1];
+      for_each_lane([&](std::span<Word> words) {
+        finish_row(words,
+                   ((words[a.wi] >> a.shift) | (words[b.wi] >> b.shift)) & 1u);
+      });
+    } else {
+      for_each_lane([&](std::span<Word> words) {
+        Word any = 0;
+        for (const LineRef& in : line_refs_) any |= words[in.wi] >> in.shift;
+        finish_row(words, any & 1u);
+      });
+    }
+    result.violations = violations;
   }
   ++cycles_;
   ++nor_ops_;

@@ -8,6 +8,15 @@
 // src/fault on top of this state.  Every mutating entry point advances the
 // cycle counter exactly like the paper's latency accounting: one cycle per
 // parallel NOR, one cycle per batched initialization.
+//
+// This is the *word-parallel* engine: for kColumn orientation a parallel
+// MAGIC operation executes all selected lanes at once with 64-bit word
+// operations directly on the row vectors; for kRow orientation it makes one
+// fused pass per selected lane with word offsets precomputed per operation.
+// Precondition violations are counted via popcount, never per bit.  The
+// original bit-serial engine is retained verbatim as ReferenceCrossbar
+// (reference_crossbar.hpp) and serves as the golden model in differential
+// tests.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +43,10 @@ struct OpResult {
 /// simulator implements the conservative semantics out' = out AND NOR(in)
 /// (an HRS output can never be driven back to LRS by a NOR) and reports the
 /// violation count so tests can assert clean execution.
+///
+/// Validation is uniform across every external entry point: indices and
+/// sizes are checked *before* any state or cycle-counter mutation, so a
+/// throwing call leaves the crossbar untouched.
 class Crossbar {
  public:
   Crossbar(std::size_t n_rows, std::size_t n_cols);
@@ -75,8 +88,9 @@ class Crossbar {
   /// kRow: out(r, out_line) = NOR_i in(r, in_lines[i]) for every selected
   /// row r.  kColumn: out(out_line, c) = NOR_i in(in_lines[i], c) for every
   /// selected column c.  1-input NOR is MAGIC NOT.  Empty `lanes` selects
-  /// all lanes.  Output cells must have been magic_init'ed to LRS;
-  /// violations are counted in the result (see class comment).
+  /// all lanes; explicit lanes must be distinct (a physical lane cannot be
+  /// driven twice in one cycle).  Output cells must have been magic_init'ed
+  /// to LRS; violations are counted in the result (see class comment).
   OpResult magic_nor(Orientation o, std::span<const std::size_t> in_lines,
                      std::size_t out_line,
                      std::span<const std::size_t> lanes = {});
@@ -97,11 +111,33 @@ class Crossbar {
   [[nodiscard]] std::size_t lane_count(Orientation o) const noexcept {
     return o == Orientation::kRow ? rows() : cols();
   }
+  /// Builds the column-lane selection mask into lane_mask_ (validating
+  /// indices and, when required, distinctness) and returns it; returns the
+  /// cached all-ones mask when `lanes` is empty.  kColumn orientation only
+  /// -- the kRow engine never materializes a mask.
+  const util::BitVector& col_lane_mask(std::span<const std::size_t> lanes,
+                                       bool require_distinct);
+  /// Validates lane indices and rejects duplicates (no-op for empty lanes);
+  /// uses lane_mask_ as the seen-set scratch.
+  void check_lanes_distinct(Orientation o, std::span<const std::size_t> lanes);
 
   util::BitMatrix mat_;
   std::uint64_t cycles_ = 0;
   std::uint64_t nor_ops_ = 0;
   std::uint64_t init_cycles_ = 0;
+
+  // Scratch buffers reused across operations so the hot path is
+  // allocation-free in steady state.
+  /// Word offset + shift of one gate line, resolved once per operation.
+  struct LineRef {
+    std::size_t wi;
+    unsigned shift;
+  };
+
+  util::BitVector lane_mask_;     ///< lane-selection mask for explicit subsets
+  util::BitVector acc_;           ///< input OR / NOR value / driven value
+  util::BitVector ones_cols_;     ///< all-ones over cols()
+  std::vector<LineRef> line_refs_;  ///< per-input offsets (kRow fused path)
 };
 
 }  // namespace pimecc::xbar

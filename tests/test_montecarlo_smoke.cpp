@@ -1,0 +1,48 @@
+// Tiny-configuration Monte Carlo smoke test: exercises the full threaded
+// reliability pipeline (seed derivation, injection, scrub, row-XOR block
+// scan) in well under a second so it can run under the `smoke` ctest label
+// on every CI invocation.
+#include <gtest/gtest.h>
+
+#include "reliability/montecarlo.hpp"
+#include "util/rng.hpp"
+
+namespace pimecc::rel {
+namespace {
+
+TEST(MonteCarloSmoke, TinyConfigRunsThreadedPipeline) {
+  MonteCarloConfig config;
+  config.n = 20;
+  config.m = 5;
+  config.fit_per_bit = 1e6;  // p ~ 0.024/bit-day: flips are certain
+  config.window_hours = 24.0;
+  config.trials = 25;
+  config.threads = 2;
+  util::Rng rng(7);
+  const MonteCarloResult result = run_montecarlo(config, rng);
+  EXPECT_EQ(result.trials, 25u);
+  EXPECT_EQ(result.blocks_total, 25u * 16u);
+  EXPECT_GT(result.trials_with_errors, 0u);
+  EXPECT_GT(result.flips_injected, 0u);
+  // Every failed block must first have received an error.
+  EXPECT_LE(result.blocks_failed, result.blocks_with_errors);
+  EXPECT_LE(result.trials_failed, result.trials_with_errors);
+}
+
+TEST(MonteCarloSmoke, ThreadsCappedByTrialCount) {
+  MonteCarloConfig config;
+  config.n = 10;
+  config.m = 5;
+  config.fit_per_bit = 1e6;
+  config.trials = 3;
+  config.threads = 16;  // more workers than trials must still be exact
+  util::Rng rng(11);
+  const MonteCarloResult result = run_montecarlo(config, rng);
+  EXPECT_EQ(result.trials, 3u);
+  config.threads = 1;
+  util::Rng rng2(11);
+  EXPECT_EQ(run_montecarlo(config, rng2), result);
+}
+
+}  // namespace
+}  // namespace pimecc::rel

@@ -132,6 +132,41 @@ TEST(BitVector, ResizePreservesPrefix) {
   EXPECT_EQ(v.count(), 1u);
 }
 
+TEST(BitVector, WordSpansExposeBackingStorage) {
+  BitVector v(70);
+  EXPECT_EQ(v.word_count(), 2u);
+  v.set(0, true);
+  v.set(64, true);
+  EXPECT_EQ(v.words()[0], 1ull);
+  EXPECT_EQ(v.words()[1], 1ull);
+  v.words_mutable()[1] = ~0ull;  // sets padding bits beyond size()
+  v.sanitize();
+  EXPECT_EQ(v.count(), 7u);  // bit 0 + bits 64..69
+}
+
+TEST(BitVector, AssignMaskedMergesByMask) {
+  BitVector dst = BitVector::from_string("110000");
+  const BitVector src = BitVector::from_string("001111");
+  const BitVector mask = BitVector::from_string("011110");
+  dst.assign_masked(src, mask);
+  EXPECT_EQ(dst.to_string(), "101110");
+  BitVector wrong(5);
+  EXPECT_THROW(dst.assign_masked(wrong, mask), std::invalid_argument);
+}
+
+TEST(BitVector, IntersectsAndCountAndNot) {
+  const BitVector a = BitVector::from_string("1100");
+  const BitVector b = BitVector::from_string("0110");
+  const BitVector c = BitVector::from_string("0011");
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_EQ(a.count_and_not(b), 1u);  // bit 0
+  EXPECT_EQ(a.count_and_not(c), 2u);
+  BitVector wrong(5);
+  EXPECT_THROW((void)a.intersects(wrong), std::invalid_argument);
+  EXPECT_THROW((void)a.count_and_not(wrong), std::invalid_argument);
+}
+
 // ---------------------------------------------------------------- BitMatrix
 
 TEST(BitMatrix, ShapeAndAccess) {
@@ -160,6 +195,59 @@ TEST(BitMatrix, RowReferenceIsLive) {
   BitMatrix m(3, 8);
   m.row(1).set(6, true);
   EXPECT_TRUE(m.get(1, 6));
+}
+
+TEST(BitMatrix, ColumnIntoMatchesBitSerialExtraction) {
+  Rng rng(17);
+  BitMatrix m(70, 130);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) m.set(r, c, rng.bernoulli(0.5));
+  }
+  BitVector out;
+  for (const std::size_t c : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                              std::size_t{129}}) {
+    m.column_into(c, out);
+    ASSERT_EQ(out.size(), m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      EXPECT_EQ(out.get(r), m.get(r, c)) << "r=" << r << " c=" << c;
+    }
+  }
+  EXPECT_THROW(m.column_into(130, out), std::out_of_range);
+}
+
+TEST(BitMatrix, OrColumnIntoAccumulates) {
+  BitMatrix m(5, 5);
+  m.set(1, 2, true);
+  m.set(4, 3, true);
+  BitVector acc(5);
+  m.or_column_into(2, acc);
+  m.or_column_into(3, acc);
+  EXPECT_TRUE(acc.get(1));
+  EXPECT_TRUE(acc.get(4));
+  EXPECT_EQ(acc.count(), 2u);
+  BitVector wrong(4);
+  EXPECT_THROW(m.or_column_into(0, wrong), std::invalid_argument);
+  EXPECT_THROW(m.or_column_into(5, acc), std::out_of_range);
+}
+
+TEST(BitMatrix, SetColumnRoundTripsAcrossWordBoundaries) {
+  Rng rng(23);
+  BitMatrix m(130, 70);
+  BitVector col(130);
+  for (std::size_t r = 0; r < 130; ++r) col.set(r, rng.bernoulli(0.5));
+  m.set_column(64, col);
+  EXPECT_EQ(m.column(64), col);
+  EXPECT_EQ(m.count(), col.count());
+}
+
+TEST(BitMatrix, RowAssignMaskedMergesByMask) {
+  BitMatrix m(3, 6);
+  m.row(1) = BitVector::from_string("110000");
+  m.row_assign_masked(1, BitVector::from_string("001111"),
+                      BitVector::from_string("011110"));
+  EXPECT_EQ(m.row(1).to_string(), "101110");
+  EXPECT_THROW(m.row_assign_masked(3, BitVector(6), BitVector(6)),
+               std::out_of_range);
 }
 
 TEST(BitMatrix, HammingDistanceAndEquality) {
@@ -228,6 +316,50 @@ TEST(Rng, PoissonZeroMean) {
   Rng rng(10);
   EXPECT_EQ(rng.poisson(0.0), 0u);
   EXPECT_EQ(rng.poisson(-2.0), 0u);
+}
+
+TEST(Rng, JumpIsDeterministicAndDiverges) {
+  Rng a(42), b(42);
+  a.jump();
+  b.jump();
+  EXPECT_EQ(a.next(), b.next());  // same jump from same state
+  Rng base(42);
+  bool diverged = false;
+  for (int i = 0; i < 16 && !diverged; ++i) diverged = a.next() != base.next();
+  EXPECT_TRUE(diverged);  // jumped stream is a different substream
+}
+
+TEST(Rng, LongJumpDiffersFromJump) {
+  Rng a(42), b(42);
+  a.jump();
+  b.long_jump();
+  bool diverged = false;
+  for (int i = 0; i < 16 && !diverged; ++i) diverged = a.next() != b.next();
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, ForStreamYieldsIndependentDeterministicSubstreams) {
+  Rng s0 = Rng::for_stream(123, 0);
+  Rng s0_again = Rng::for_stream(123, 0);
+  Rng s1 = Rng::for_stream(123, 1);
+  Rng other_seed = Rng::for_stream(124, 0);
+  EXPECT_EQ(s0.next(), s0_again.next());
+  bool differs_by_stream = false, differs_by_seed = false;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t x = s0.next();
+    differs_by_stream = differs_by_stream || x != s1.next();
+    differs_by_seed = differs_by_seed || x != other_seed.next();
+  }
+  EXPECT_TRUE(differs_by_stream);
+  EXPECT_TRUE(differs_by_seed);
+  // Substream 0 must also differ from the plain seeded stream.
+  Rng plain(123);
+  Rng sub0 = Rng::for_stream(123, 0);
+  bool differs_from_plain = false;
+  for (int i = 0; i < 16 && !differs_from_plain; ++i) {
+    differs_from_plain = plain.next() != sub0.next();
+  }
+  EXPECT_TRUE(differs_from_plain);
 }
 
 // ------------------------------------------------------------------- modmath

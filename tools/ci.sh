@@ -15,9 +15,11 @@ if [[ "${1:-}" == "--werror" ]]; then
 fi
 cmake_args+=("$@")
 
+release_dir=""
 for config in Debug Release; do
   # tr, not ${config,,}: macOS ships bash 3.2 which lacks case expansion.
   build_dir="$repo/build-ci-$(tr '[:upper:]' '[:lower:]' <<<"$config")"
+  if [[ "$config" == "Release" ]]; then release_dir="$build_dir"; fi
   echo "==== [$config] configure ===="
   cmake -B "$build_dir" -S "$repo" -DCMAKE_BUILD_TYPE="$config" "${cmake_args[@]+"${cmake_args[@]}"}"
   echo "==== [$config] build ===="
@@ -25,5 +27,18 @@ for config in Debug Release; do
   echo "==== [$config] test ===="
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 done
+
+# Engine perf tracking: smoke-configuration run of the throughput harness,
+# archived next to the Release build (the committed BENCH_engine.json at the
+# repo root is a full-configuration run; don't clobber it from CI).  Guarded:
+# extra cmake args may disable the bench build entirely.
+bench_bin="$release_dir/bench/bench_engine_throughput"
+if [[ -n "$release_dir" && -x "$bench_bin" ]]; then
+  echo "==== [Release] bench_engine_throughput (smoke) ===="
+  "$bench_bin" --smoke --out="$release_dir/BENCH_engine.json"
+  echo "archived $release_dir/BENCH_engine.json"
+else
+  echo "==== bench_engine_throughput not built; skipping smoke bench ===="
+fi
 
 echo "==== CI gate passed (Debug + Release) ===="
