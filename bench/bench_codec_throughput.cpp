@@ -1,0 +1,236 @@
+// Codec throughput harness: measures the word-parallel ECC codec against
+// the bit-serial reference on the three hot paths and emits machine-readable
+// BENCH_codec.json -- the codec-layer companion of bench_engine_throughput.
+//
+//   1. encode_all: whole-array check-bit recomputation -- ArrayCode's batch
+//      band path vs a per-block ReferenceBlockCodec::encode loop.
+//   2. scrub: whole-array check-and-correct on clean data (the Monte Carlo
+//      engine's dominant per-trial cost) -- ArrayCode::scrub vs a per-block
+//      ReferenceBlockCodec::check_and_correct loop.
+//   3. syndrome: per-block compute_syndrome across every block, fast
+//      BlockCodec vs ReferenceBlockCodec.
+//
+// Grid: n in {256, 512, 1024} x m in {3, 5, 7, 9, 31}; n is rounded down to
+// the nearest multiple of m (n_eff) since the array code requires m | n.
+// Every timed configuration is first cross-checked: the fast engine's check
+// bits and scrub report must equal the reference's, or the run fails.
+//
+// Usage: bench_codec_throughput [--smoke] [--out=PATH]
+//   --smoke    fast CI configuration (n = 256, m in {3, 31})
+//   --out=PATH where to write the JSON (default: BENCH_codec.json in cwd)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/array_code.hpp"
+#include "core/block_code.hpp"
+#include "core/reference_block_code.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using pimecc::ecc::ArrayCode;
+using pimecc::ecc::CheckBits;
+using pimecc::ecc::DecodeStatus;
+using pimecc::ecc::ReferenceBlockCodec;
+using pimecc::ecc::ScrubReport;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+pimecc::util::BitMatrix random_matrix(std::size_t n, pimecc::util::Rng& rng) {
+  pimecc::util::BitMatrix mat(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto& row = mat.row(r);
+    for (auto& word : row.words_mutable()) word = rng.next();
+    row.sanitize();
+  }
+  return mat;
+}
+
+/// Runs `pass` repeatedly until at least `min_seconds` elapsed; returns
+/// data cells processed per second (n_eff^2 per pass).
+template <typename Pass>
+double measure_cells_per_sec(std::size_t n_eff, double min_seconds, Pass&& pass) {
+  std::size_t passes = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    pass();
+    ++passes;
+    elapsed = seconds_since(start);
+  } while (elapsed < min_seconds);
+  return static_cast<double>(passes) * static_cast<double>(n_eff) *
+         static_cast<double>(n_eff) / elapsed;
+}
+
+struct MetricResult {
+  double ref_cells_per_sec = 0.0;
+  double fast_cells_per_sec = 0.0;
+  [[nodiscard]] double speedup() const { return fast_cells_per_sec / ref_cells_per_sec; }
+};
+
+struct ConfigResult {
+  std::size_t n = 0;
+  std::size_t n_eff = 0;
+  std::size_t m = 0;
+  MetricResult encode;
+  MetricResult scrub;
+  MetricResult syndrome;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pimecc;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_codec.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_codec_throughput [--smoke] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> ns =
+      smoke ? std::vector<std::size_t>{256} : std::vector<std::size_t>{256, 512, 1024};
+  const std::vector<std::size_t> ms =
+      smoke ? std::vector<std::size_t>{3, 31} : std::vector<std::size_t>{3, 5, 7, 9, 31};
+  const double min_seconds = smoke ? 0.02 : 0.2;
+
+  bool differential_ok = true;
+  std::vector<ConfigResult> results;
+  for (const std::size_t n : ns) {
+    for (const std::size_t m : ms) {
+      const std::size_t bps = n / m;
+      const std::size_t n_eff = bps * m;
+      util::Rng rng(0xC0DEC'BE7Cull ^ (n * 131) ^ m);
+      util::BitMatrix data = random_matrix(n_eff, rng);
+
+      ArrayCode code(n_eff, m);
+      const ReferenceBlockCodec ref(m);
+      std::vector<CheckBits> ref_stored(bps * bps, CheckBits(m));
+
+      // Cross-check before timing: fast and reference encodes must agree,
+      // and a clean scrub must report every block clean on both engines.
+      code.encode_all(data);
+      for (std::size_t br = 0; br < bps && differential_ok; ++br) {
+        for (std::size_t bc = 0; bc < bps; ++bc) {
+          ref_stored[br * bps + bc] = ref.encode(data, br * m, bc * m);
+          if (!(ref_stored[br * bps + bc] == code.check_bits({br, bc}))) {
+            differential_ok = false;
+            break;
+          }
+        }
+      }
+      const ScrubReport fast_clean = code.scrub(data);
+      const ScrubReport ref_clean = reference_scrub(ref, data, ref_stored, bps);
+      if (!(fast_clean == ref_clean) || fast_clean.clean != bps * bps) {
+        differential_ok = false;
+      }
+
+      ConfigResult r;
+      r.n = n;
+      r.n_eff = n_eff;
+      r.m = m;
+
+      r.encode.ref_cells_per_sec = measure_cells_per_sec(n_eff, min_seconds, [&] {
+        for (std::size_t br = 0; br < bps; ++br) {
+          for (std::size_t bc = 0; bc < bps; ++bc) {
+            ref_stored[br * bps + bc] = ref.encode(data, br * m, bc * m);
+          }
+        }
+      });
+      r.encode.fast_cells_per_sec = measure_cells_per_sec(
+          n_eff, min_seconds, [&] { code.encode_all(data); });
+
+      r.scrub.ref_cells_per_sec = measure_cells_per_sec(n_eff, min_seconds, [&] {
+        (void)reference_scrub(ref, data, ref_stored, bps);
+      });
+      r.scrub.fast_cells_per_sec = measure_cells_per_sec(
+          n_eff, min_seconds, [&] { (void)code.scrub(data); });
+
+      const ecc::BlockCodec& fast_codec = code.codec();
+      r.syndrome.ref_cells_per_sec = measure_cells_per_sec(n_eff, min_seconds, [&] {
+        for (std::size_t br = 0; br < bps; ++br) {
+          for (std::size_t bc = 0; bc < bps; ++bc) {
+            (void)ref.compute_syndrome(data, br * m, bc * m,
+                                       ref_stored[br * bps + bc]);
+          }
+        }
+      });
+      r.syndrome.fast_cells_per_sec = measure_cells_per_sec(n_eff, min_seconds, [&] {
+        for (std::size_t br = 0; br < bps; ++br) {
+          for (std::size_t bc = 0; bc < bps; ++bc) {
+            (void)fast_codec.compute_syndrome(data, br * m, bc * m,
+                                              code.check_bits({br, bc}));
+          }
+        }
+      });
+
+      results.push_back(r);
+      std::cout << "n=" << n_eff << " m=" << m << ": encode_all "
+                << fmt(r.encode.speedup()) << "x, scrub " << fmt(r.scrub.speedup())
+                << "x, syndrome " << fmt(r.syndrome.speedup())
+                << "x (fast encode " << fmt(r.encode.fast_cells_per_sec / 1e6)
+                << " Mcells/s)\n";
+    }
+  }
+  std::cout << "differential cross-check: "
+            << (differential_ok ? "ok" : "FAILED -- BUG") << "\n";
+
+  const ConfigResult& largest = results.back();
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"schema\": \"pimecc-bench-codec/1\",\n"
+       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"differential_ok\": " << (differential_ok ? "true" : "false") << ",\n"
+       << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    auto metric = [&](const char* name, const MetricResult& mr, bool last) {
+      json << "      \"" << name << "\": {\"reference_cells_per_sec\": "
+           << fmt(mr.ref_cells_per_sec) << ", \"word_parallel_cells_per_sec\": "
+           << fmt(mr.fast_cells_per_sec) << ", \"speedup\": "
+           << fmt(mr.speedup()) << "}" << (last ? "" : ",") << "\n";
+    };
+    json << "    {\n"
+         << "      \"n\": " << r.n << ", \"n_eff\": " << r.n_eff
+         << ", \"m\": " << r.m << ",\n";
+    metric("encode_all", r.encode, false);
+    metric("scrub", r.scrub, false);
+    metric("syndrome", r.syndrome, true);
+    json << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"largest_config\": {\"n_eff\": " << largest.n_eff << ", \"m\": "
+       << largest.m << ", \"encode_all_speedup\": " << fmt(largest.encode.speedup())
+       << ", \"scrub_speedup\": " << fmt(largest.scrub.speedup())
+       << ", \"syndrome_speedup\": " << fmt(largest.syndrome.speedup()) << "}\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return differential_ok ? 0 : 1;
+}

@@ -26,12 +26,20 @@ xbar::Crossbar& CheckMemory::xb(Axis axis, std::size_t diagonal) {
       static_cast<const CheckMemory*>(this)->xb(axis, diagonal));
 }
 
+void CheckMemory::require_block(ecc::BlockIndex block) const {
+  if (block.block_row >= blocks_ || block.block_col >= blocks_) {
+    throw std::out_of_range("CheckMemory: block index out of range");
+  }
+}
+
 bool CheckMemory::get(Axis axis, std::size_t diagonal, ecc::BlockIndex block) const {
+  require_block(block);
   return xb(axis, diagonal).peek(block.block_col, block.block_row);
 }
 
 void CheckMemory::set(Axis axis, std::size_t diagonal, ecc::BlockIndex block,
                       bool value) {
+  require_block(block);
   xb(axis, diagonal).poke(block.block_col, block.block_row, value);
 }
 

@@ -71,6 +71,10 @@ class CheckMemory {
  private:
   [[nodiscard]] const xbar::Crossbar& xb(Axis axis, std::size_t diagonal) const;
   [[nodiscard]] xbar::Crossbar& xb(Axis axis, std::size_t diagonal);
+  /// Throws std::out_of_range on a bad block index -- before any state is
+  /// touched (poke is an unchecked accessor, so set/flip would otherwise
+  /// write out of bounds).
+  void require_block(ecc::BlockIndex block) const;
 
   std::size_t m_;
   std::size_t blocks_;

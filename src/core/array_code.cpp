@@ -1,8 +1,41 @@
 #include "core/array_code.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace pimecc::ecc {
+
+namespace {
+
+/// Accumulates the fresh per-block parity words of one block band (rows
+/// [band_row0, band_row0 + m)): lead[bc]/cnt[bc] receive the leading and
+/// counter parity of block column bc, counter already reflected into
+/// diagonal order.  m <= diagword::kMaxM.
+void accumulate_band(const util::BitMatrix& data, std::size_t band_row0,
+                     std::size_t m, std::vector<std::uint64_t>& lead,
+                     std::vector<std::uint64_t>& cnt) {
+  const std::size_t bps = lead.size();
+  std::fill(lead.begin(), lead.end(), 0);
+  std::fill(cnt.begin(), cnt.end(), 0);
+  const std::span<const util::BitVector> rows = data.rows_span();
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::span<const std::uint64_t> words = rows[band_row0 + r].words();
+    const std::size_t rot_right = r == 0 ? 0 : m - r;
+    for (std::size_t bc = 0; bc < bps; ++bc) {
+      const std::uint64_t seg = diagword::extract(words, bc * m, m);
+      lead[bc] ^= diagword::rotl(seg, r, m);
+      cnt[bc] ^= diagword::rotl(seg, rot_right, m);
+    }
+  }
+  for (std::size_t bc = 0; bc < bps; ++bc) {
+    cnt[bc] = diagword::stride_permute(cnt[bc], m - 1, m);
+  }
+}
+
+}  // namespace
 
 ArrayCode::ArrayCode(std::size_t n, std::size_t m) : n_(n), codec_(m) {
   if (n == 0 || n % m != 0) {
@@ -34,18 +67,39 @@ CheckBits& ArrayCode::check_bits_mutable(BlockIndex b) {
 
 void ArrayCode::encode_all(const util::BitMatrix& data) {
   require_shape(data);
-  for (std::size_t br = 0; br < blocks_per_side(); ++br) {
-    for (std::size_t bc = 0; bc < blocks_per_side(); ++bc) {
-      blocks_[br * blocks_per_side() + bc] = codec_.encode(data, br * m(), bc * m());
+  const std::size_t mm = m();
+  const std::size_t bps = blocks_per_side();
+  if (mm > diagword::kMaxM) {
+    for (std::size_t br = 0; br < bps; ++br) {
+      for (std::size_t bc = 0; bc < bps; ++bc) {
+        blocks_[br * bps + bc] = codec_.encode(data, br * mm, bc * mm);
+      }
+    }
+    return;
+  }
+  // Batch band path: each row of a block band is read once, its per-block
+  // segments peeled and folded into all blocks of the band simultaneously.
+  std::vector<std::uint64_t> lead(bps);
+  std::vector<std::uint64_t> cnt(bps);
+  for (std::size_t br = 0; br < bps; ++br) {
+    accumulate_band(data, br * mm, mm, lead, cnt);
+    for (std::size_t bc = 0; bc < bps; ++bc) {
+      CheckBits& check = blocks_[br * bps + bc];
+      check.leading.set_low_word(lead[bc]);
+      check.counter.set_low_word(cnt[bc]);
     }
   }
 }
 
 void ArrayCode::apply_writes(const std::vector<CellWrite>& writes) {
+  // Validate the whole batch before the first parity flip: a bad cell
+  // mid-batch must not leave earlier writes half-applied.
   for (const CellWrite& w : writes) {
     if (w.r >= n_ || w.c >= n_) {
       throw std::out_of_range("ArrayCode::apply_writes: cell out of range");
     }
+  }
+  for (const CellWrite& w : writes) {
     CheckBits& check = blocks_[flat_index(block_of(w.r, w.c))];
     codec_.update_for_write(check, w.r % m(), w.c % m(), w.old_value, w.new_value);
   }
@@ -60,15 +114,57 @@ DecodeResult ArrayCode::check_block(util::BitMatrix& data, BlockIndex b) {
 ScrubReport ArrayCode::scrub(util::BitMatrix& data) {
   require_shape(data);
   ScrubReport report;
-  for (std::size_t br = 0; br < blocks_per_side(); ++br) {
-    for (std::size_t bc = 0; bc < blocks_per_side(); ++bc) {
-      const DecodeResult r = check_block(data, {br, bc});
+  const std::size_t mm = m();
+  const std::size_t bps = blocks_per_side();
+  if (mm > diagword::kMaxM) {
+    for (std::size_t br = 0; br < bps; ++br) {
+      for (std::size_t bc = 0; bc < bps; ++bc) {
+        const DecodeResult r = check_block(data, {br, bc});
+        ++report.blocks_checked;
+        switch (r.status) {
+          case DecodeStatus::kClean: ++report.clean; break;
+          case DecodeStatus::kCorrectedData: ++report.corrected_data; break;
+          case DecodeStatus::kCorrectedCheck: ++report.corrected_check; break;
+          case DecodeStatus::kDetectedUncorrectable: ++report.uncorrectable; break;
+        }
+      }
+    }
+    return report;
+  }
+  // Batch band path: fresh parities for all blocks of a band in one pass
+  // over its rows, then per-block word-level syndrome classification
+  // (blocks are disjoint, so correcting a data bit here cannot affect any
+  // other block's already-computed parity).  Semantics identical to
+  // check_block per block -- pinned by the differential suite.
+  std::vector<std::uint64_t> lead(bps);
+  std::vector<std::uint64_t> cnt(bps);
+  for (std::size_t br = 0; br < bps; ++br) {
+    accumulate_band(data, br * mm, mm, lead, cnt);
+    for (std::size_t bc = 0; bc < bps; ++bc) {
+      CheckBits& stored = blocks_[br * bps + bc];
+      const std::uint64_t syn_lead = lead[bc] ^ stored.leading.low_word();
+      const std::uint64_t syn_cnt = cnt[bc] ^ stored.counter.low_word();
       ++report.blocks_checked;
-      switch (r.status) {
-        case DecodeStatus::kClean: ++report.clean; break;
-        case DecodeStatus::kCorrectedData: ++report.corrected_data; break;
-        case DecodeStatus::kCorrectedCheck: ++report.corrected_check; break;
-        case DecodeStatus::kDetectedUncorrectable: ++report.uncorrectable; break;
+      if (syn_lead == 0 && syn_cnt == 0) {
+        ++report.clean;
+        continue;
+      }
+      const int nl = std::popcount(syn_lead);
+      const int nc = std::popcount(syn_cnt);
+      if (nl == 1 && nc == 1) {
+        const Cell cell = codec_.geometry().locate(
+            {static_cast<std::size_t>(std::countr_zero(syn_lead)),
+             static_cast<std::size_t>(std::countr_zero(syn_cnt))});
+        data.flip(br * mm + cell.r, bc * mm + cell.c);
+        ++report.corrected_data;
+      } else if (nl == 1 && nc == 0) {
+        stored.leading.flip(static_cast<std::size_t>(std::countr_zero(syn_lead)));
+        ++report.corrected_check;
+      } else if (nl == 0 && nc == 1) {
+        stored.counter.flip(static_cast<std::size_t>(std::countr_zero(syn_cnt)));
+        ++report.corrected_check;
+      } else {
+        ++report.uncorrectable;
       }
     }
   }
@@ -77,10 +173,27 @@ ScrubReport ArrayCode::scrub(util::BitMatrix& data) {
 
 bool ArrayCode::consistent_with(const util::BitMatrix& data) const {
   require_shape(data);
-  for (std::size_t br = 0; br < blocks_per_side(); ++br) {
-    for (std::size_t bc = 0; bc < blocks_per_side(); ++bc) {
-      const CheckBits fresh = codec_.encode(data, br * m(), bc * m());
-      if (!(fresh == blocks_[br * blocks_per_side() + bc])) return false;
+  const std::size_t mm = m();
+  const std::size_t bps = blocks_per_side();
+  if (mm > diagword::kMaxM) {
+    for (std::size_t br = 0; br < bps; ++br) {
+      for (std::size_t bc = 0; bc < bps; ++bc) {
+        const CheckBits fresh = codec_.encode(data, br * mm, bc * mm);
+        if (!(fresh == blocks_[br * bps + bc])) return false;
+      }
+    }
+    return true;
+  }
+  std::vector<std::uint64_t> lead(bps);
+  std::vector<std::uint64_t> cnt(bps);
+  for (std::size_t br = 0; br < bps; ++br) {
+    accumulate_band(data, br * mm, mm, lead, cnt);
+    for (std::size_t bc = 0; bc < bps; ++bc) {
+      const CheckBits& stored = blocks_[br * bps + bc];
+      if (lead[bc] != stored.leading.low_word() ||
+          cnt[bc] != stored.counter.low_word()) {
+        return false;
+      }
     }
   }
   return true;

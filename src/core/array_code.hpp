@@ -37,6 +37,7 @@ struct ScrubReport {
   std::size_t corrected_data = 0;
   std::size_t corrected_check = 0;
   std::size_t uncorrectable = 0;
+  bool operator==(const ScrubReport&) const noexcept = default;
 };
 
 /// Diagonal-parity ECC over an n x n bit array (n divisible by odd m).
@@ -60,7 +61,9 @@ class ArrayCode {
   [[nodiscard]] const CheckBits& check_bits(BlockIndex b) const;
   [[nodiscard]] CheckBits& check_bits_mutable(BlockIndex b);
 
-  /// Recomputes every block's check bits from `data` (n x n).
+  /// Recomputes every block's check bits from `data` (n x n).  Batch band
+  /// path (m <= diagword::kMaxM): walks each row band once and peels the
+  /// per-block word segments, O(n * n/64) word ops instead of n*n bit reads.
   void encode_all(const util::BitMatrix& data);
 
   /// Continuous update for a batch of cell writes (one parallel MAGIC
@@ -72,7 +75,9 @@ class ArrayCode {
   /// (data bit in `data`, check bit in this object).
   DecodeResult check_block(util::BitMatrix& data, BlockIndex b);
 
-  /// Checks every block (the paper's periodic full-memory check).
+  /// Checks every block (the paper's periodic full-memory check).  Uses the
+  /// same batch band path as encode_all, with word-level syndrome
+  /// classification; semantics identical to check_block on every block.
   ScrubReport scrub(util::BitMatrix& data);
 
   /// True iff every check bit matches `data` exactly.

@@ -14,15 +14,36 @@ void BlockCodec::require_window(const util::BitMatrix& data, std::size_t row0,
 CheckBits BlockCodec::encode(const util::BitMatrix& data, std::size_t row0,
                              std::size_t col0) const {
   require_window(data, row0, col0);
-  CheckBits check(m());
-  for (std::size_t r = 0; r < m(); ++r) {
-    for (std::size_t c = 0; c < m(); ++c) {
-      if (data.get(row0 + r, col0 + c)) {
-        check.leading.flip(geometry_.leading(r, c));
-        check.counter.flip(geometry_.counter(r, c));
+  const std::size_t mm = m();
+  CheckBits check(mm);
+  if (mm > diagword::kMaxM) {
+    // Bit-serial fallback for blocks wider than one word (matches
+    // ReferenceBlockCodec::encode).
+    for (std::size_t r = 0; r < mm; ++r) {
+      for (std::size_t c = 0; c < mm; ++c) {
+        if (data.get(row0 + r, col0 + c)) {
+          check.leading.flip(geometry_.leading(r, c));
+          check.counter.flip(geometry_.counter(r, c));
+        }
       }
     }
+    return check;
   }
+  // Rotate-and-XOR accumulation over row words: row r contributes
+  // rotl(seg, r) to the leading parities (bit c -> (r + c) mod m) and
+  // rotr(seg, r) to a pre-reflection counter accumulator, reflected once
+  // per block (bit c -> (r - c) mod m); see diagword in core/geometry.
+  const std::span<const util::BitVector> rows = data.rows_span();
+  std::uint64_t lead = 0;
+  std::uint64_t cnt = 0;
+  for (std::size_t r = 0; r < mm; ++r) {
+    const std::uint64_t seg =
+        diagword::extract(rows[row0 + r].words(), col0, mm);
+    lead ^= diagword::rotl(seg, r, mm);
+    cnt ^= diagword::rotl(seg, r == 0 ? 0 : mm - r, mm);
+  }
+  check.leading.set_low_word(lead);
+  check.counter.set_low_word(diagword::stride_permute(cnt, mm - 1, mm));
   return check;
 }
 

@@ -71,6 +71,7 @@ struct DecodeResult {
   DecodeStatus status = DecodeStatus::kClean;
   std::optional<Cell> data_error;            ///< set iff kCorrectedData
   std::optional<CheckBitLocation> check_error;  ///< set iff kCorrectedCheck
+  bool operator==(const DecodeResult&) const noexcept = default;
 };
 
 /// Encoder/decoder for one block size m (odd).
@@ -78,6 +79,12 @@ struct DecodeResult {
 /// The codec is pure: it owns no storage, operating on caller-provided
 /// views.  The data view is any m x m window of a BitMatrix anchored at
 /// (row0, col0).
+///
+/// This is the word-parallel production codec: parities are accumulated by
+/// rotate-and-XOR over BitMatrix row words (O(m) word ops per block instead
+/// of m*m bit reads; see diagword in core/geometry).  It must match the
+/// bit-serial ReferenceBlockCodec (reference_block_code.hpp) exactly on any
+/// input -- pinned by the differential suite in tests/test_codec_engine.cpp.
 class BlockCodec {
  public:
   explicit BlockCodec(std::size_t m) : geometry_(m) {}

@@ -14,12 +14,70 @@
 // diagonals, destroying single-error *correction* (detection survives).
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <stdexcept>
 
 #include "util/modmath.hpp"
 
 namespace pimecc::ecc {
+
+/// Word-level diagonal-extraction kernels shared by BlockCodec,
+/// MultiSlopeCodec, and HorizontalCode.
+///
+/// A block row is an m-bit segment of a BitMatrix row; for m <= kMaxM it
+/// fits in the low m bits of one 64-bit word.  In the polynomial view over
+/// GF(2)[x]/(x^m - 1), row r of a block is p_r(x) and the slope-s parity
+/// family (line (r + s*c) mod m) is sum_r x^r p_r(x^s).  Substituting once
+/// per block instead of once per row gives the rotate-and-XOR scheme the
+/// codecs build on:
+///
+///   family_s = stride_permute( XOR_r rotl(p_r, r * s^-1 mod m), s )
+///
+/// since stride_permute(rotl(p, r*s^-1), s) maps bit c to s*c + r.  The
+/// paper's leading diagonals are s = 1 (identity permutation, plain
+/// rotate-XOR accumulation) and the counter diagonals are s = m-1 (rotate
+/// right, then one bit reflection per block).
+namespace diagword {
+
+/// Largest block size the single-word kernels handle; codecs fall back to
+/// their bit-serial paths above this.
+inline constexpr std::size_t kMaxM = 64;
+
+/// Mask of the low m bits (m in [1, 64]).
+[[nodiscard]] constexpr std::uint64_t low_mask(std::size_t m) noexcept {
+  return m >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << m) - 1;
+}
+
+/// Rotates the low m bits of `seg` left by k: bit c -> (c + k) mod m.
+/// Requires k < m and seg confined to the low m bits.
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t seg, std::size_t k,
+                                           std::size_t m) noexcept {
+  if (k == 0) return seg;
+  return ((seg << k) | (seg >> (m - k))) & low_mask(m);
+}
+
+/// Extracts bits [bit0, bit0 + m) of a row's backing words as the low m
+/// bits of one word (m <= 64).  The caller guarantees the range lies within
+/// the row, so at most two words are touched.
+[[nodiscard]] std::uint64_t extract(std::span<const std::uint64_t> words,
+                                    std::size_t bit0, std::size_t m) noexcept;
+
+/// Applies the stride permutation bit j -> (s * j) mod m to the low m bits
+/// (s reduced mod m; for parity use s must be coprime to m).  O(m), used
+/// once per block, not per row.  s = m-1 is the bit reflection j -> -j.
+[[nodiscard]] std::uint64_t stride_permute(std::uint64_t seg, std::size_t s,
+                                           std::size_t m) noexcept;
+
+/// XOR-reduction (parity) of bits [bit0, bit0 + len) of a row's backing
+/// words; any length, word-parallel.  The caller guarantees the range lies
+/// within the row.
+[[nodiscard]] bool segment_parity(std::span<const std::uint64_t> words,
+                                  std::size_t bit0, std::size_t len) noexcept;
+
+}  // namespace diagword
 
 /// Location of a cell inside an m x m block.
 struct Cell {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/geometry.hpp"  // diagword::segment_parity
+
 namespace pimecc::ecc {
 
 HorizontalCode::HorizontalCode(std::size_t n, std::size_t group_size)
@@ -26,13 +28,15 @@ void HorizontalCode::encode_all(const util::BitMatrix& data) {
   if (data.rows() != n_ || data.cols() != n_) {
     throw std::invalid_argument("HorizontalCode: data matrix must be n x n");
   }
+  // Word-parallel: each group parity is one XOR-accumulate + popcount over
+  // the row's backing words instead of group_ bit reads.
+  const std::size_t gpr = groups_per_row();
+  const std::span<const util::BitVector> rows = data.rows_span();
   for (std::size_t r = 0; r < n_; ++r) {
-    for (std::size_t g = 0; g < groups_per_row(); ++g) {
-      bool p = false;
-      for (std::size_t i = 0; i < group_; ++i) {
-        p ^= data.get(r, g * group_ + i);
-      }
-      parities_.set(slot(r, g), p);
+    const std::span<const std::uint64_t> words = rows[r].words();
+    for (std::size_t g = 0; g < gpr; ++g) {
+      parities_.set(r * gpr + g,
+                    diagword::segment_parity(words, g * group_, group_));
     }
   }
 }
@@ -42,10 +46,14 @@ bool HorizontalCode::parity(std::size_t r, std::size_t g) const {
 }
 
 void HorizontalCode::apply_writes(const std::vector<CellWrite>& writes) {
+  // Validate the whole batch before the first parity flip: a bad cell
+  // mid-batch must not leave earlier writes half-applied.
   for (const CellWrite& w : writes) {
     if (w.r >= n_ || w.c >= n_) {
       throw std::out_of_range("HorizontalCode::apply_writes: cell out of range");
     }
+  }
+  for (const CellWrite& w : writes) {
     if (w.old_value != w.new_value) {
       parities_.flip(slot(w.r, w.c / group_));
     }
@@ -56,13 +64,15 @@ bool HorizontalCode::consistent_with(const util::BitMatrix& data) const {
   if (data.rows() != n_ || data.cols() != n_) {
     throw std::invalid_argument("HorizontalCode: data matrix must be n x n");
   }
+  const std::size_t gpr = groups_per_row();
+  const std::span<const util::BitVector> rows = data.rows_span();
   for (std::size_t r = 0; r < n_; ++r) {
-    for (std::size_t g = 0; g < groups_per_row(); ++g) {
-      bool p = false;
-      for (std::size_t i = 0; i < group_; ++i) {
-        p ^= data.get(r, g * group_ + i);
+    const std::span<const std::uint64_t> words = rows[r].words();
+    for (std::size_t g = 0; g < gpr; ++g) {
+      if (diagword::segment_parity(words, g * group_, group_) !=
+          parities_.get(r * gpr + g)) {
+        return false;
       }
-      if (p != parities_.get(r * groups_per_row() + g)) return false;
     }
   }
   return true;
@@ -70,11 +80,12 @@ bool HorizontalCode::consistent_with(const util::BitMatrix& data) const {
 
 bool HorizontalCode::group_has_error(const util::BitMatrix& data, std::size_t r,
                                      std::size_t g) const {
-  bool p = false;
-  for (std::size_t i = 0; i < group_; ++i) {
-    p ^= data.at(r, g * group_ + i);
+  const std::size_t s = slot(r, g);  // validates r and g
+  if (data.rows() != n_ || data.cols() != n_) {
+    throw std::invalid_argument("HorizontalCode: data matrix must be n x n");
   }
-  return p != parities_.get(slot(r, g));
+  return diagword::segment_parity(data.rows_span()[r].words(), g * group_,
+                                       group_) != parities_.get(s);
 }
 
 std::size_t HorizontalCode::update_cost_reads(

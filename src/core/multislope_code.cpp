@@ -1,8 +1,11 @@
 #include "core/multislope_code.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <stdexcept>
 
+#include "core/geometry.hpp"
 #include "util/modmath.hpp"
 
 namespace pimecc::ecc {
@@ -16,12 +19,16 @@ MultiSlopeCodec::MultiSlopeCodec(std::size_t m, std::vector<std::size_t> slopes)
     throw std::invalid_argument("MultiSlopeCodec: need at least one family");
   }
   for (auto& s : slopes_) s %= m_;
+  inv_slopes_.reserve(slopes_.size());
   for (std::size_t i = 0; i < slopes_.size(); ++i) {
-    if (util::gcd_i64(static_cast<std::int64_t>(slopes_[i]),
-                      static_cast<std::int64_t>(m_)) != 1) {
+    const auto inv = util::mod_inverse(static_cast<std::int64_t>(slopes_[i]),
+                                       static_cast<std::int64_t>(m_));
+    if (!inv.has_value()) {
       throw std::invalid_argument(
           "MultiSlopeCodec: every slope must be coprime to m");
     }
+    inv_slopes_.push_back(static_cast<std::size_t>(
+        util::floor_mod(*inv, static_cast<std::int64_t>(m_))));
     for (std::size_t j = i + 1; j < slopes_.size(); ++j) {
       if (slopes_[i] == slopes_[j]) {
         throw std::invalid_argument("MultiSlopeCodec: slopes must be distinct");
@@ -47,13 +54,37 @@ MultiCheckBits MultiSlopeCodec::encode(const util::BitMatrix& data,
   require_window(data, row0, col0);
   MultiCheckBits check;
   check.family_parity.assign(families(), util::BitVector(m_));
-  for (std::size_t r = 0; r < m_; ++r) {
-    for (std::size_t c = 0; c < m_; ++c) {
-      if (!data.get(row0 + r, col0 + c)) continue;
-      for (std::size_t f = 0; f < families(); ++f) {
-        check.family_parity[f].flip(line_of(f, r, c));
+  if (m_ > diagword::kMaxM) {
+    // Bit-serial fallback for blocks wider than one word (matches
+    // reference_multislope_encode).
+    for (std::size_t r = 0; r < m_; ++r) {
+      for (std::size_t c = 0; c < m_; ++c) {
+        if (!data.get(row0 + r, col0 + c)) continue;
+        for (std::size_t f = 0; f < families(); ++f) {
+          check.family_parity[f].flip(line_of(f, r, c));
+        }
       }
     }
+    return check;
+  }
+  // Word-parallel path: in GF(2)[x]/(x^m - 1), family f's parity is
+  // sum_r x^r p_r(x^{s_f}) = q_f(x^{s_f}) with q_f = sum_r x^{r/s_f} p_r,
+  // so each row costs one rotate+XOR per family and the stride
+  // substitution runs once per block (diagword in core/geometry).
+  const std::span<const util::BitVector> rows = data.rows_span();
+  std::vector<std::uint64_t> acc(families(), 0);
+  std::vector<std::size_t> rot(families(), 0);  // (r * inv_slope_f) mod m
+  for (std::size_t r = 0; r < m_; ++r) {
+    const std::uint64_t seg = diagword::extract(rows[row0 + r].words(), col0, m_);
+    for (std::size_t f = 0; f < families(); ++f) {
+      acc[f] ^= diagword::rotl(seg, rot[f], m_);
+      rot[f] += inv_slopes_[f];
+      if (rot[f] >= m_) rot[f] -= m_;
+    }
+  }
+  for (std::size_t f = 0; f < families(); ++f) {
+    check.family_parity[f].set_low_word(
+        diagword::stride_permute(acc[f], slopes_[f], m_));
   }
   return check;
 }

@@ -117,6 +117,11 @@ class MultiSlopeCodec {
 
   std::size_t m_;
   std::vector<std::size_t> slopes_;
+  /// Modular inverse of each slope mod m (slopes are coprime to m), used by
+  /// the word-parallel encoder: family f accumulates rotl(row_r, r * inv_f)
+  /// then applies one stride-f permutation per block (see diagword in
+  /// core/geometry).
+  std::vector<std::size_t> inv_slopes_;
 };
 
 }  // namespace pimecc::ecc

@@ -119,6 +119,8 @@ MonteCarloResult run_montecarlo(const MonteCarloConfig& config, util::Rng& rng) 
         if (touched) ++out.blocks_with_errors;
       }
 
+      // Whole-array check via the word-parallel batch band path (one pass
+      // per block band; see ArrayCode::scrub) -- the dominant per-trial cost.
       const ecc::ScrubReport scrub = code.scrub(data);
       out.corrected_data += scrub.corrected_data;
       out.corrected_check += scrub.corrected_check;

@@ -51,6 +51,12 @@ bool BitVector::flip(std::size_t i) noexcept {
   return get(i);
 }
 
+void BitVector::set_low_word(Word w) noexcept {
+  assert(!words_.empty());
+  words_[0] = w;
+  clear_padding();
+}
+
 void BitVector::fill(bool value) noexcept {
   for (auto& w : words_) w = value ? ~Word{0} : Word{0};
   clear_padding();

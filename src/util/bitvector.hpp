@@ -53,6 +53,14 @@ class BitVector {
   [[nodiscard]] std::span<Word> words_mutable() noexcept { return words_; }
   /// Re-establishes the padding invariant after raw word writes.
   void sanitize() noexcept { clear_padding(); }
+  /// Word 0 (bits [0, 64)), or 0 when empty.  The codec engine stores one
+  /// diagonal-parity family per word for block sizes m <= 64.
+  [[nodiscard]] Word low_word() const noexcept {
+    return words_.empty() ? Word{0} : words_[0];
+  }
+  /// Overwrites word 0 and re-establishes the padding invariant, so stray
+  /// bits at positions >= size() are discarded.  Requires size() > 0.
+  void set_low_word(Word w) noexcept;
 
   /// Unchecked bit read (asserts in debug builds).
   [[nodiscard]] bool get(std::size_t i) const noexcept;

@@ -144,6 +144,24 @@ TEST(BitVector, WordSpansExposeBackingStorage) {
   EXPECT_EQ(v.count(), 7u);  // bit 0 + bits 64..69
 }
 
+TEST(BitVector, LowWordReadsAndWritesWordZero) {
+  BitVector v(7);
+  EXPECT_EQ(v.low_word(), 0ull);
+  v.set_low_word(0b101ull);
+  EXPECT_EQ(v.low_word(), 0b101ull);
+  EXPECT_EQ(v.to_string(), "1010000");
+  // Stray bits beyond size() are discarded by the padding invariant.
+  v.set_low_word(~0ull);
+  EXPECT_EQ(v.count(), 7u);
+  EXPECT_EQ(v.low_word(), 0x7Full);
+  // On a multi-word vector, word 0 carries no padding and is kept whole.
+  BitVector wide(70);
+  wide.set_low_word(~0ull);
+  EXPECT_EQ(wide.count(), 64u);
+  EXPECT_EQ(wide.low_word(), ~0ull);
+  EXPECT_EQ(BitVector().low_word(), 0ull);
+}
+
 TEST(BitVector, AssignMaskedMergesByMask) {
   BitVector dst = BitVector::from_string("110000");
   const BitVector src = BitVector::from_string("001111");

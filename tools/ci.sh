@@ -41,4 +41,15 @@ else
   echo "==== bench_engine_throughput not built; skipping smoke bench ===="
 fi
 
+# Same for the ECC codec layer: the smoke configuration also runs the
+# fast-vs-reference differential cross-check (non-zero exit on divergence).
+codec_bin="$release_dir/bench/bench_codec_throughput"
+if [[ -n "$release_dir" && -x "$codec_bin" ]]; then
+  echo "==== [Release] bench_codec_throughput (smoke) ===="
+  "$codec_bin" --smoke --out="$release_dir/BENCH_codec.json"
+  echo "archived $release_dir/BENCH_codec.json"
+else
+  echo "==== bench_codec_throughput not built; skipping smoke bench ===="
+fi
+
 echo "==== CI gate passed (Debug + Release) ===="
