@@ -52,13 +52,7 @@ std::string fmt(double v) {
 }
 
 pimecc::util::BitMatrix random_matrix(std::size_t n, pimecc::util::Rng& rng) {
-  pimecc::util::BitMatrix mat(n, n);
-  for (std::size_t r = 0; r < n; ++r) {
-    auto& row = mat.row(r);
-    for (auto& word : row.words_mutable()) word = rng.next();
-    row.sanitize();
-  }
-  return mat;
+  return pimecc::util::random_bit_matrix(n, n, rng);
 }
 
 /// Runs `pass` repeatedly until at least `min_seconds` elapsed; returns

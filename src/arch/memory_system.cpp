@@ -50,13 +50,7 @@ GlobalAddress MemorySystem::translate(std::uint64_t bit_index) const {
 
 void MemorySystem::load_random(util::Rng& rng) {
   for (auto& machine : units_) {
-    util::BitMatrix image(params_.unit.n, params_.unit.n);
-    for (std::size_t r = 0; r < params_.unit.n; ++r) {
-      for (std::size_t c = 0; c < params_.unit.n; ++c) {
-        image.set(r, c, rng.bernoulli(0.5));
-      }
-    }
-    machine.load(image);
+    machine.load(util::random_bit_matrix(params_.unit.n, params_.unit.n, rng));
   }
 }
 

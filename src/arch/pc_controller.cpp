@@ -6,20 +6,40 @@ namespace pimecc::arch {
 
 PcController::PcController(std::size_t lanes) : xbar_(lanes) {}
 
+void PcController::require_lane_widths(const util::BitVector& old_line,
+                                       const util::BitVector& check_line,
+                                       const util::BitVector& new_line) const {
+  const std::size_t lanes = xbar_.lanes();
+  if (old_line.size() != lanes || check_line.size() != lanes ||
+      new_line.size() != lanes) {
+    throw std::invalid_argument("PcController: operand length mismatch");
+  }
+}
+
 void PcController::start(util::BitVector old_line, util::BitVector check_line,
                          util::BitVector new_line) {
   if (busy()) {
     throw std::logic_error("PcController::start: FSM is busy");
   }
-  const std::size_t lanes = xbar_.lanes();
-  if (old_line.size() != lanes || check_line.size() != lanes ||
-      new_line.size() != lanes) {
-    throw std::invalid_argument("PcController::start: operand length mismatch");
-  }
+  require_lane_widths(old_line, check_line, new_line);
   pending_old_ = std::move(old_line);
   pending_check_ = std::move(check_line);
   pending_new_ = std::move(new_line);
   state_ = PcState::kInit;
+}
+
+void PcController::enqueue(util::BitVector old_line, util::BitVector check_line,
+                           util::BitVector new_line) {
+  require_lane_widths(old_line, check_line, new_line);
+  if (!busy()) {
+    pending_old_ = std::move(old_line);
+    pending_check_ = std::move(check_line);
+    pending_new_ = std::move(new_line);
+    state_ = PcState::kInit;
+    return;
+  }
+  queue_.push_back(
+      {std::move(old_line), std::move(check_line), std::move(new_line)});
 }
 
 std::optional<util::BitVector> PcController::step() {
@@ -61,6 +81,17 @@ std::optional<util::BitVector> PcController::step() {
   }
   ++cycles_;
   state_ = next(state_);
+  if (state_ == PcState::kDone && !queue_.empty()) {
+    // Batched traffic: the controller latches the next queued update the
+    // same cycle the write-back retires, so the next INIT runs on the very
+    // next clock -- no idle round-trip between updates.
+    QueuedUpdate next_update = std::move(queue_.front());
+    queue_.pop_front();
+    pending_old_ = std::move(next_update.old_line);
+    pending_check_ = std::move(next_update.check_line);
+    pending_new_ = std::move(next_update.new_line);
+    state_ = PcState::kInit;
+  }
   return writeback;
 }
 
@@ -72,6 +103,19 @@ PcController::RunResult PcController::run_to_completion() {
   const std::uint64_t start_cycles = cycles_;
   while (busy()) {
     if (auto wb = step()) result.updated_check = std::move(*wb);
+  }
+  result.cycles = cycles_ - start_cycles;
+  return result;
+}
+
+PcController::BatchResult PcController::run_batch_to_completion() {
+  if (!busy()) {
+    throw std::logic_error("PcController::run_batch_to_completion: FSM not armed");
+  }
+  BatchResult result;
+  const std::uint64_t start_cycles = cycles_;
+  while (busy()) {
+    if (auto wb = step()) result.updated_checks.push_back(std::move(*wb));
   }
   result.cycles = cycles_ - start_cycles;
   return result;

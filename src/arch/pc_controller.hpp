@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <vector>
 
 #include "arch/processing_xbar.hpp"
 #include "util/bitvector.hpp"
@@ -70,6 +72,17 @@ class PcController {
   void start(util::BitVector old_line, util::BitVector check_line,
              util::BitVector new_line);
 
+  /// Queues one continuous update behind the FSM -- the CMEM controller's
+  /// batched check-memory traffic.  Operand sizes are validated *before*
+  /// any state changes (a throwing call leaves FSM and queue untouched).
+  /// If the FSM is idle the update is armed immediately; otherwise it
+  /// starts automatically on the cycle after the previous write-back
+  /// retires, so back-to-back updates need no controller round-trip.
+  void enqueue(util::BitVector old_line, util::BitVector check_line,
+               util::BitVector new_line);
+  /// Updates waiting behind the in-flight one.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
   /// Advances one clock.  Returns the updated check bits exactly once, on
   /// the write-back cycle.
   std::optional<util::BitVector> step();
@@ -82,8 +95,20 @@ class PcController {
   };
   RunResult run_to_completion();
 
-  /// Resets to idle (a controller abort).
-  void reset() noexcept { state_ = PcState::kIdle; }
+  /// Convenience over a queued batch: runs until FSM and queue drain,
+  /// returning one write-back value per update plus the total cycle count
+  /// (13 per update -- the batch pipelines with no idle cycles between).
+  struct BatchResult {
+    std::vector<util::BitVector> updated_checks;
+    std::uint64_t cycles = 0;
+  };
+  BatchResult run_batch_to_completion();
+
+  /// Resets to idle and drops any queued updates (a controller abort).
+  void reset() noexcept {
+    state_ = PcState::kIdle;
+    queue_.clear();
+  }
 
  private:
   [[nodiscard]] static PcState next(PcState s) noexcept {
@@ -91,12 +116,23 @@ class PcController {
                                : static_cast<PcState>(static_cast<int>(s) + 1);
   }
 
+  struct QueuedUpdate {
+    util::BitVector old_line;
+    util::BitVector check_line;
+    util::BitVector new_line;
+  };
+
+  void require_lane_widths(const util::BitVector& old_line,
+                           const util::BitVector& check_line,
+                           const util::BitVector& new_line) const;
+
   ProcessingXbar xbar_;
   PcState state_ = PcState::kIdle;
   std::uint64_t cycles_ = 0;
   util::BitVector pending_old_;
   util::BitVector pending_check_;
   util::BitVector pending_new_;
+  std::deque<QueuedUpdate> queue_;
 };
 
 }  // namespace pimecc::arch

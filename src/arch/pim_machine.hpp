@@ -1,8 +1,8 @@
 // pimecc -- arch/pim_machine.hpp
 //
 // The top-level public API: one MEM crossbar with the paper's full ECC
-// extension attached (Figure 3) -- check-bit crossbars, processing
-// crossbars, checking crossbar, barrel shifters and controllers -- operated
+// extension attached (Figure 3) -- check-bit storage, processing crossbars,
+// checking crossbar, barrel shifters and controllers -- operated
 // functionally and bit-accurately.
 //
 // Every stateful-logic operation issued through this facade runs the
@@ -10,22 +10,30 @@
 //   1. cancel the old data's effect on the check bits,
 //   2. perform the MAGIC operation in the MEM,
 //   3. add the new data's effect on the check bits,
-// with both steps 1 and 3 realized as genuine XOR3 microprograms in the
-// processing crossbars, fed through the barrel shifters.  Soft errors can
-// be injected at any point; checks before use and periodic scrubs then
-// detect/correct them exactly as the architecture would.
+// and soft errors can be injected at any point; checks before use and
+// periodic scrubs then detect/correct them exactly as the architecture
+// would.
+//
+// This is the *word-parallel* production machine: check bits live in an
+// ecc::ArrayCode (one diagonal-parity family per 64-bit word), initial
+// encodes and verifications ride the encode_all/scrub/consistent_with band
+// walks, and protocol steps 1+3 are computed *differentially* from the
+// written line via the diagword kernel -- one rotate+XOR per affected
+// family, never a re-encode (ArrayCode::apply_line_delta).  Cycle
+// accounting is unchanged: the protocol's analytic costs are identical to
+// routing the lines through the shifter bank into genuine XOR3
+// microprograms.  The original bit-serial composition is retained verbatim
+// as ReferencePimMachine (reference_pim_machine.hpp) and must match this
+// machine exactly in contents, check state, cycle counters, and correction
+// counts on any program -- pinned by tests/test_arch_engine.cpp.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <vector>
 
-#include "arch/check_memory.hpp"
+#include "arch/check_memory.hpp"  // Axis
 #include "arch/params.hpp"
-#include "arch/processing_xbar.hpp"
-#include "arch/scheduler.hpp"
-#include "arch/shifter.hpp"
 #include "core/array_code.hpp"
 #include "util/bitmatrix.hpp"
 #include "util/bitvector.hpp"
@@ -43,6 +51,7 @@ struct CheckReport {
   [[nodiscard]] bool all_clean() const noexcept {
     return corrected_data + corrected_check + uncorrectable == 0;
   }
+  bool operator==(const CheckReport&) const noexcept = default;
 };
 
 /// Cycle accounting split by unit, in the spirit of the paper's latency
@@ -54,6 +63,7 @@ struct MachineCounters {
   std::uint64_t critical_ops = 0;
   std::uint64_t checks = 0;
   std::uint64_t scrubs = 0;
+  bool operator==(const MachineCounters&) const noexcept = default;
 };
 
 /// MEM + CMEM processing-in-memory unit with diagonal-parity ECC.
@@ -89,6 +99,7 @@ class PimMachine {
                                 std::span<const std::size_t> cols = {});
   /// Initialization (to LRS) of whole lines, ECC-maintained: for
   /// row-orientation, initializes the given columns across all rows.
+  /// Lines must be distinct (a duplicate would corrupt the check update).
   void magic_init_rows_protected(std::span<const std::size_t> cols);
   void magic_init_cols_protected(std::span<const std::size_t> rows);
 
@@ -101,8 +112,8 @@ class PimMachine {
   /// Periodic full-memory check.
   CheckReport scrub();
 
-  /// True iff the CMEM check bits are exactly consistent with the MEM data
-  /// (golden-model invariant used heavily in tests).
+  /// True iff the stored check bits are exactly consistent with the MEM
+  /// data (golden-model invariant used heavily in tests).
   [[nodiscard]] bool ecc_consistent() const;
 
   // --- fault injection hooks ------------------------------------------------
@@ -112,28 +123,27 @@ class PimMachine {
   void inject_check_error(Axis axis, std::size_t diagonal, ecc::BlockIndex block);
 
   [[nodiscard]] const MachineCounters& counters() const noexcept { return counters_; }
-  [[nodiscard]] const CheckMemory& check_memory() const noexcept { return cmem_; }
+  /// The check-bit state (functional view of the CMEM contents).
+  [[nodiscard]] const ecc::ArrayCode& check_code() const noexcept { return code_; }
 
  private:
-  /// Runs protocol steps 1+3 for a line write: old/new line images are
-  /// routed through the shifters, XOR3'ed against the stored check bits in
-  /// the processing crossbars, and written back.
-  /// `along_rows` true means the written line is a column (row-parallel op).
+  /// Runs protocol steps 1+3 for a line write, differentially: `delta` is
+  /// old XOR new of the written line.  `along_rows` true means the written
+  /// line is a column (row-parallel op).
   void update_check_bits_for_line(bool along_rows, std::size_t line,
-                                  const util::BitVector& old_line,
-                                  const util::BitVector& new_line);
+                                  const util::BitVector& delta);
   CheckReport check_block_band(bool row_band, std::size_t band);
-  void repair_block(ecc::BlockIndex block, const ecc::DecodeResult& result);
 
   ArchParams params_;
   xbar::Crossbar mem_;
-  CheckMemory cmem_;
-  ProcessingXbar pc_leading_;
-  ProcessingXbar pc_counter_;
-  CheckingXbar checker_;
-  ShifterBank shifters_;
-  ecc::BlockCodec codec_;
+  ecc::ArrayCode code_;
   MachineCounters counters_;
+
+  // Scratch buffers reused across operations so the protected hot path is
+  // allocation-free in steady state.
+  util::BitVector old_line_;  ///< line snapshot, then delta in place
+  util::BitVector new_line_;
+  std::vector<util::BitVector> init_snapshots_;
 };
 
 }  // namespace pimecc::arch

@@ -17,9 +17,19 @@ std::uint64_t xor3_fold_levels(std::uint64_t count) noexcept {
 }
 
 std::uint64_t CalendarResource::reserve(std::uint64_t earliest) {
+  // Hop the skip chain to the first free cycle >= earliest.  The invariant
+  // busy_[t] = u  <=>  cycles [t, u) all taken guarantees no free cycle is
+  // skipped, so the result equals linear probing's.
   std::uint64_t t = earliest;
-  while (busy_.contains(t)) ++t;
-  busy_.emplace(t, true);
+  path_.clear();
+  for (auto it = busy_.find(t); it != busy_.end(); it = busy_.find(t)) {
+    path_.push_back(t);
+    t = it->second;
+  }
+  busy_.emplace(t, t + 1);
+  // Path compression: every chain entry walked now skips straight past t
+  // (all cycles in between were already taken, and t just became so).
+  for (const std::uint64_t u : path_) busy_[u] = t + 1;
   return t;
 }
 
@@ -49,6 +59,21 @@ std::uint64_t ProtocolScheduler::reserve_pc_pass(std::uint64_t earliest,
   note_event_end(start + span);
   record(start, span, ScheduledEvent::Unit::kPc, label);
   return start;
+}
+
+std::uint64_t ProtocolScheduler::pc_pair_ready() const noexcept {
+  if (pc_free_.size() < 2) return pc_free_.front();
+  std::uint64_t first = ~std::uint64_t{0};
+  std::uint64_t second = ~std::uint64_t{0};
+  for (const std::uint64_t t : pc_free_) {
+    if (t < first) {
+      second = first;
+      first = t;
+    } else if (t < second) {
+      second = t;
+    }
+  }
+  return second;
 }
 
 std::uint64_t ProtocolScheduler::hazard_ready(CheckCellKey key) const {
@@ -101,15 +126,8 @@ std::uint64_t ProtocolScheduler::schedule_critical_op(CheckCellKey key) {
   // any in-flight update of the same check bits to have retired (kStall).
   // With >= 2 PCs the two axis passes run in parallel, so the op can start
   // once the *second*-soonest PC frees; with one PC the passes serialize.
-  std::uint64_t pc_ready;
-  if (params_.num_pcs >= 2) {
-    auto copy = pc_free_;
-    std::nth_element(copy.begin(), copy.begin() + 1, copy.end());
-    pc_ready = copy[1];
-  } else {
-    pc_ready = pc_free_.front();
-  }
-  const std::uint64_t earliest_old = std::max(pc_ready, hazard_ready(key));
+  const std::uint64_t earliest_old =
+      std::max(pc_pair_ready(), hazard_ready(key));
   const std::uint64_t t_old = mem_reserve_tracking_stalls(earliest_old, "xfer-old");
   // Check-bit read into the PCs via the connection unit (off MEM's path).
   const std::uint64_t t_cbx_read = cbx_.reserve(t_old + tc);
@@ -151,15 +169,7 @@ std::uint64_t ProtocolScheduler::schedule_cancel_batch(
     earliest = std::max(earliest, hazard_ready(key));
   }
   // The PC pair must be free to receive the first transfer.
-  std::uint64_t pc_ready;
-  if (params_.num_pcs >= 2) {
-    auto copy = pc_free_;
-    std::nth_element(copy.begin(), copy.begin() + 1, copy.end());
-    pc_ready = copy[1];
-  } else {
-    pc_ready = pc_free_.front();
-  }
-  earliest = std::max(earliest, pc_ready);
+  earliest = std::max(earliest, pc_pair_ready());
   // One old-data line transfer per canceled cell.
   std::uint64_t first_transfer = 0;
   std::uint64_t last_transfer_end = 0;

@@ -58,13 +58,20 @@ class ResourceTimeline {
 /// Unit-capacity resource with out-of-order single-cycle reservations
 /// (suits the connection-unit port: one update's early check-bit *read* must
 /// be able to slot in between other updates' late *write-backs*).
+///
+/// Reservations are skip-chained: busy_[t] = u records that every cycle in
+/// [t, u) is taken, and reserve() path-compresses the chain it walks, so a
+/// long run of back-to-back reservations (the batched check-memory traffic
+/// of a whole program) costs amortized O(1) lookups instead of one probe
+/// per occupied cycle.  Results are identical to linear probing.
 class CalendarResource {
  public:
   /// Reserves the first free cycle at or after `earliest`.
   std::uint64_t reserve(std::uint64_t earliest);
 
  private:
-  std::unordered_map<std::uint64_t, bool> busy_;
+  std::unordered_map<std::uint64_t, std::uint64_t> busy_;
+  std::vector<std::uint64_t> path_;  // scratch: chain visited this reserve
 };
 
 /// Identifies one check bit for hazard tracking: (block, axis, diagonal)
@@ -149,6 +156,10 @@ class ProtocolScheduler {
   /// least-loaded PC; returns the window start.
   std::uint64_t reserve_pc_pass(std::uint64_t earliest, std::uint64_t span,
                                 const char* label);
+  /// Earliest cycle at which a *pair* of PCs is free to receive operands
+  /// (the two diagonal-axis passes run in parallel on the two soonest-free
+  /// PCs; with one PC they serialize on it).  Allocation-free.
+  [[nodiscard]] std::uint64_t pc_pair_ready() const noexcept;
   std::uint64_t mem_reserve_tracking_stalls(std::uint64_t earliest,
                                             const char* label);
   [[nodiscard]] std::uint64_t hazard_ready(CheckCellKey key) const;

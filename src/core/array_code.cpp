@@ -35,6 +35,33 @@ void accumulate_band(const util::BitMatrix& data, std::size_t band_row0,
   }
 }
 
+/// Fresh leading/counter parity words of the single block anchored at
+/// (row0, col0), counter already reflected.  m <= diagword::kMaxM.
+void accumulate_block(const util::BitMatrix& data, std::size_t row0,
+                      std::size_t col0, std::size_t m, std::uint64_t& lead,
+                      std::uint64_t& cnt) {
+  lead = 0;
+  cnt = 0;
+  const std::span<const util::BitVector> rows = data.rows_span();
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::uint64_t seg = diagword::extract(rows[row0 + r].words(), col0, m);
+    lead ^= diagword::rotl(seg, r, m);
+    cnt ^= diagword::rotl(seg, r == 0 ? 0 : m - r, m);
+  }
+  cnt = diagword::stride_permute(cnt, m - 1, m);
+}
+
+/// Folds one bit-serial DecodeResult into a ScrubReport.
+void tally(ScrubReport& report, const DecodeResult& r) {
+  ++report.blocks_checked;
+  switch (r.status) {
+    case DecodeStatus::kClean: ++report.clean; break;
+    case DecodeStatus::kCorrectedData: ++report.corrected_data; break;
+    case DecodeStatus::kCorrectedCheck: ++report.corrected_check; break;
+    case DecodeStatus::kDetectedUncorrectable: ++report.uncorrectable; break;
+  }
+}
+
 }  // namespace
 
 ArrayCode::ArrayCode(std::size_t n, std::size_t m) : n_(n), codec_(m) {
@@ -119,14 +146,7 @@ ScrubReport ArrayCode::scrub(util::BitMatrix& data) {
   if (mm > diagword::kMaxM) {
     for (std::size_t br = 0; br < bps; ++br) {
       for (std::size_t bc = 0; bc < bps; ++bc) {
-        const DecodeResult r = check_block(data, {br, bc});
-        ++report.blocks_checked;
-        switch (r.status) {
-          case DecodeStatus::kClean: ++report.clean; break;
-          case DecodeStatus::kCorrectedData: ++report.corrected_data; break;
-          case DecodeStatus::kCorrectedCheck: ++report.corrected_check; break;
-          case DecodeStatus::kDetectedUncorrectable: ++report.uncorrectable; break;
-        }
+        tally(report, check_block(data, {br, bc}));
       }
     }
     return report;
@@ -141,34 +161,113 @@ ScrubReport ArrayCode::scrub(util::BitMatrix& data) {
   for (std::size_t br = 0; br < bps; ++br) {
     accumulate_band(data, br * mm, mm, lead, cnt);
     for (std::size_t bc = 0; bc < bps; ++bc) {
-      CheckBits& stored = blocks_[br * bps + bc];
-      const std::uint64_t syn_lead = lead[bc] ^ stored.leading.low_word();
-      const std::uint64_t syn_cnt = cnt[bc] ^ stored.counter.low_word();
-      ++report.blocks_checked;
-      if (syn_lead == 0 && syn_cnt == 0) {
-        ++report.clean;
-        continue;
-      }
-      const int nl = std::popcount(syn_lead);
-      const int nc = std::popcount(syn_cnt);
-      if (nl == 1 && nc == 1) {
-        const Cell cell = codec_.geometry().locate(
-            {static_cast<std::size_t>(std::countr_zero(syn_lead)),
-             static_cast<std::size_t>(std::countr_zero(syn_cnt))});
-        data.flip(br * mm + cell.r, bc * mm + cell.c);
-        ++report.corrected_data;
-      } else if (nl == 1 && nc == 0) {
-        stored.leading.flip(static_cast<std::size_t>(std::countr_zero(syn_lead)));
-        ++report.corrected_check;
-      } else if (nl == 0 && nc == 1) {
-        stored.counter.flip(static_cast<std::size_t>(std::countr_zero(syn_cnt)));
-        ++report.corrected_check;
-      } else {
-        ++report.uncorrectable;
-      }
+      classify_and_repair(data, {br, bc}, lead[bc], cnt[bc], report);
     }
   }
   return report;
+}
+
+void ArrayCode::classify_and_repair(util::BitMatrix& data, BlockIndex b,
+                                    std::uint64_t fresh_lead,
+                                    std::uint64_t fresh_cnt, ScrubReport& report) {
+  const std::size_t mm = m();
+  CheckBits& stored = blocks_[b.block_row * blocks_per_side() + b.block_col];
+  const std::uint64_t syn_lead = fresh_lead ^ stored.leading.low_word();
+  const std::uint64_t syn_cnt = fresh_cnt ^ stored.counter.low_word();
+  ++report.blocks_checked;
+  if (syn_lead == 0 && syn_cnt == 0) {
+    ++report.clean;
+    return;
+  }
+  const int nl = std::popcount(syn_lead);
+  const int nc = std::popcount(syn_cnt);
+  if (nl == 1 && nc == 1) {
+    const Cell cell = codec_.geometry().locate(
+        {static_cast<std::size_t>(std::countr_zero(syn_lead)),
+         static_cast<std::size_t>(std::countr_zero(syn_cnt))});
+    data.flip(b.block_row * mm + cell.r, b.block_col * mm + cell.c);
+    ++report.corrected_data;
+  } else if (nl == 1 && nc == 0) {
+    stored.leading.flip(static_cast<std::size_t>(std::countr_zero(syn_lead)));
+    ++report.corrected_check;
+  } else if (nl == 0 && nc == 1) {
+    stored.counter.flip(static_cast<std::size_t>(std::countr_zero(syn_cnt)));
+    ++report.corrected_check;
+  } else {
+    ++report.uncorrectable;
+  }
+}
+
+ScrubReport ArrayCode::scrub_band(util::BitMatrix& data, bool row_band,
+                                  std::size_t band) {
+  require_shape(data);
+  const std::size_t bps = blocks_per_side();
+  if (band >= bps) {
+    throw std::out_of_range("ArrayCode::scrub_band: band out of range");
+  }
+  ScrubReport report;
+  const std::size_t mm = m();
+  if (mm > diagword::kMaxM) {
+    for (std::size_t j = 0; j < bps; ++j) {
+      const BlockIndex b = row_band ? BlockIndex{band, j} : BlockIndex{j, band};
+      tally(report, check_block(data, b));
+    }
+    return report;
+  }
+  if (row_band) {
+    std::vector<std::uint64_t> lead(bps);
+    std::vector<std::uint64_t> cnt(bps);
+    accumulate_band(data, band * mm, mm, lead, cnt);
+    for (std::size_t bc = 0; bc < bps; ++bc) {
+      classify_and_repair(data, {band, bc}, lead[bc], cnt[bc], report);
+    }
+  } else {
+    for (std::size_t br = 0; br < bps; ++br) {
+      std::uint64_t lead = 0;
+      std::uint64_t cnt = 0;
+      accumulate_block(data, br * mm, band * mm, mm, lead, cnt);
+      classify_and_repair(data, {br, band}, lead, cnt, report);
+    }
+  }
+  return report;
+}
+
+void ArrayCode::apply_line_delta(bool line_is_column, std::size_t line,
+                                 const util::BitVector& delta) {
+  if (line >= n_) {
+    throw std::out_of_range("ArrayCode::apply_line_delta: line out of range");
+  }
+  if (delta.size() != n_) {
+    throw std::invalid_argument("ArrayCode::apply_line_delta: delta must have length n");
+  }
+  const std::size_t mm = m();
+  const std::size_t bps = blocks_per_side();
+  const std::size_t band = line / mm;
+  const std::size_t rem = line % mm;
+  if (mm > diagword::kMaxM) {
+    // Bit-serial fallback: one continuous-parity update per changed cell.
+    for (std::size_t i = delta.find_first(); i < n_; i = delta.find_next(i)) {
+      const std::size_t r = line_is_column ? i : line;
+      const std::size_t c = line_is_column ? line : i;
+      codec_.update_for_write(blocks_[flat_index(block_of(r, c))], r % mm,
+                              c % mm, false, true);
+    }
+    return;
+  }
+  const std::span<const std::uint64_t> words = delta.words();
+  for (std::size_t g = 0; g < bps; ++g) {
+    const std::uint64_t dseg = diagword::extract(words, g * mm, mm);
+    if (dseg == 0) continue;
+    CheckBits& check =
+        line_is_column ? blocks_[g * bps + band] : blocks_[band * bps + g];
+    const std::uint64_t dlead = diagword::rotl(dseg, rem, mm);
+    const std::uint64_t dcnt =
+        line_is_column
+            ? diagword::rotl(dseg, (mm - rem) % mm, mm)
+            : diagword::rotl(diagword::stride_permute(dseg, mm - 1, mm), rem, mm);
+    check.leading.set_low_word(check.leading.low_word() ^ dlead);
+    check.counter.set_low_word(check.counter.low_word() ^ dcnt);
+  }
 }
 
 bool ArrayCode::consistent_with(const util::BitMatrix& data) const {

@@ -80,6 +80,23 @@ class ArrayCode {
   /// classification; semantics identical to check_block on every block.
   ScrubReport scrub(util::BitMatrix& data);
 
+  /// Checks (and corrects, exactly like scrub) every block of one block-row
+  /// (`row_band` true) or block-column -- the paper's before-use check of
+  /// the band containing a line about to be operated on.  One band walk for
+  /// a block-row; one per-block segment peel per band for a block-column.
+  ScrubReport scrub_band(util::BitMatrix& data, bool row_band, std::size_t band);
+
+  /// Differential continuous update for one whole written line (the
+  /// critical-operation protocol's steps 1+3 fused): `delta` is
+  /// old XOR new of the line's n bits.  For a written column
+  /// (`line_is_column`), block-row band g folds rotl(delta_seg, line mod m)
+  /// into its leading family and rotl(delta_seg, -line mod m) into its
+  /// counter family; for a written row the counter family is additionally
+  /// reflected (stride m-1) -- one or two rotate+XORs per affected block,
+  /// never a re-encode.  Validates before mutating any parity.
+  void apply_line_delta(bool line_is_column, std::size_t line,
+                        const util::BitVector& delta);
+
   /// True iff every check bit matches `data` exactly.
   [[nodiscard]] bool consistent_with(const util::BitMatrix& data) const;
 
@@ -93,6 +110,12 @@ class ArrayCode {
  private:
   [[nodiscard]] std::size_t flat_index(BlockIndex b) const;
   void require_shape(const util::BitMatrix& data) const;
+  /// Word-level syndrome classification + in-place repair of one block given
+  /// its freshly accumulated parity words (m <= diagword::kMaxM); the shared
+  /// tail of scrub and scrub_band.
+  void classify_and_repair(util::BitMatrix& data, BlockIndex b,
+                           std::uint64_t fresh_lead, std::uint64_t fresh_cnt,
+                           ScrubReport& report);
 
   std::size_t n_;
   BlockCodec codec_;

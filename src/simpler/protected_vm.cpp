@@ -2,13 +2,17 @@
 
 #include <stdexcept>
 
+#include "arch/reference_pim_machine.hpp"
+
 namespace pimecc::simpler {
 
-ProtectedRunResult run_program_protected(arch::PimMachine& machine,
-                                         const Netlist& netlist,
-                                         const MappedProgram& program,
-                                         const util::BitMatrix& inputs,
-                                         bool check_inputs_first) {
+namespace {
+
+template <typename Machine>
+ProtectedRunResult run_impl(Machine& machine, const Netlist& netlist,
+                            const MappedProgram& program,
+                            const util::BitMatrix& inputs,
+                            bool check_inputs_first) {
   const std::size_t n = machine.n();
   if (program.row_width > n) {
     throw std::invalid_argument(
@@ -36,19 +40,29 @@ ProtectedRunResult run_program_protected(arch::PimMachine& machine,
 
   // Load inputs and constants through the protected write path (full row
   // images built from the current contents so unrelated columns survive).
+  // The input/constant cell mask and the constant values are fixed across
+  // rows (constants sit right after the inputs -- mapper convention), so
+  // each row image is one masked word assignment plus one bit scatter of
+  // that row's input values.
+  util::BitVector fixed_mask(n);
+  util::BitVector row_values(n);
+  for (const CellIndex cell : program.input_cells) fixed_mask.set(cell, true);
+  CellIndex next_fixed = static_cast<CellIndex>(program.input_cells.size());
+  for (NodeId id = 0; id < netlist.num_nodes(); ++id) {
+    const NodeType t = netlist.node(id).type;
+    if (t == NodeType::kConstZero || t == NodeType::kConstOne) {
+      fixed_mask.set(next_fixed, true);
+      row_values.set(next_fixed, t == NodeType::kConstOne);
+      ++next_fixed;
+    }
+  }
+  util::BitVector image(n);
   for (std::size_t r = 0; r < n; ++r) {
-    util::BitVector image = machine.data().row(r);
     for (std::size_t i = 0; i < program.input_cells.size(); ++i) {
-      image.set(program.input_cells[i], inputs.get(r, i));
+      row_values.set(program.input_cells[i], inputs.get(r, i));
     }
-    // Constants sit right after the inputs (mapper convention).
-    CellIndex next_fixed = static_cast<CellIndex>(program.input_cells.size());
-    for (NodeId id = 0; id < netlist.num_nodes(); ++id) {
-      const NodeType t = netlist.node(id).type;
-      if (t == NodeType::kConstZero || t == NodeType::kConstOne) {
-        image.set(next_fixed++, t == NodeType::kConstOne);
-      }
-    }
+    image = machine.data().row(r);
+    image.assign_masked(row_values, fixed_mask);
     machine.write_row_protected(r, image);
   }
 
@@ -65,13 +79,31 @@ ProtectedRunResult run_program_protected(arch::PimMachine& machine,
   }
 
   result.outputs = util::BitMatrix(n, program.output_cells.size());
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t i = 0; i < program.output_cells.size(); ++i) {
-      result.outputs.set(r, i, machine.data().get(r, program.output_cells[i]));
-    }
+  util::BitVector column(n);
+  for (std::size_t i = 0; i < program.output_cells.size(); ++i) {
+    machine.data().column_into(program.output_cells[i], column);
+    result.outputs.set_column(i, column);
   }
   result.ecc_consistent_after = machine.ecc_consistent();
   return result;
+}
+
+}  // namespace
+
+ProtectedRunResult run_program_protected(arch::PimMachine& machine,
+                                         const Netlist& netlist,
+                                         const MappedProgram& program,
+                                         const util::BitMatrix& inputs,
+                                         bool check_inputs_first) {
+  return run_impl(machine, netlist, program, inputs, check_inputs_first);
+}
+
+ProtectedRunResult run_program_protected(arch::ReferencePimMachine& machine,
+                                         const Netlist& netlist,
+                                         const MappedProgram& program,
+                                         const util::BitMatrix& inputs,
+                                         bool check_inputs_first) {
+  return run_impl(machine, netlist, program, inputs, check_inputs_first);
 }
 
 }  // namespace pimecc::simpler

@@ -6,6 +6,15 @@
 // block-rows are checked before execution (Section IV), every init and
 // gate runs the critical-operation protocol, and the function executes in
 // SIMD across any number of crossbar rows at a single row's cycle count.
+//
+// The VM's marshalling is word-parallel: per-row input images are built by
+// masked word assignment over the resident row (one precomputed
+// input+constant mask, no per-node scans), and outputs are peeled one
+// column word-walk per primary output.  The same code drives both the
+// word-parallel PimMachine and the bit-serial ReferencePimMachine -- the
+// two overloads issue an identical protected-operation sequence, so the
+// differential harness can pin contents, check state, and cycle counters
+// across the full stack.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +24,12 @@
 #include "simpler/mapper.hpp"
 #include "simpler/netlist.hpp"
 #include "util/bitmatrix.hpp"
+
+namespace pimecc::arch {
+// The bit-serial reference stack stays out of this header's include graph;
+// only the differential overload's signature needs the type.
+class ReferencePimMachine;
+}  // namespace pimecc::arch
 
 namespace pimecc::simpler {
 
@@ -33,6 +48,14 @@ struct ProtectedRunResult {
 /// band, repairing any single soft error that accumulated since the data
 /// was written.
 ProtectedRunResult run_program_protected(arch::PimMachine& machine,
+                                         const Netlist& netlist,
+                                         const MappedProgram& program,
+                                         const util::BitMatrix& inputs,
+                                         bool check_inputs_first = true);
+
+/// Identical execution on the bit-serial reference machine (differential
+/// tests and benchmarks).
+ProtectedRunResult run_program_protected(arch::ReferencePimMachine& machine,
                                          const Netlist& netlist,
                                          const MappedProgram& program,
                                          const util::BitMatrix& inputs,

@@ -53,8 +53,25 @@ void BitMatrix::column_into(std::size_t c, BitVector& out) const {
     throw std::out_of_range("BitMatrix::column_into: index out of range");
   }
   out.resize(rows_);
-  out.fill(false);
-  or_column_into(c, out);
+  if (rows_ == 0) return;
+  // Single pass: accumulate one output word at a time and store it whole
+  // (the protected-machine hot path peels two columns per operation, so
+  // this runs without the zero-fill + OR double walk).
+  const std::size_t wi = c / BitVector::kWordBits;
+  const unsigned shift = static_cast<unsigned>(c % BitVector::kWordBits);
+  const std::span<BitVector::Word> out_words = out.words_mutable();
+  BitVector::Word acc = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    acc |= ((rows_storage_[r].words()[wi] >> shift) & 1u)
+           << (r % BitVector::kWordBits);
+    if ((r + 1) % BitVector::kWordBits == 0) {
+      out_words[r / BitVector::kWordBits] = acc;
+      acc = 0;
+    }
+  }
+  if (rows_ % BitVector::kWordBits != 0) {
+    out_words[(rows_ - 1) / BitVector::kWordBits] = acc;
+  }
 }
 
 void BitMatrix::or_column_into(std::size_t c, BitVector& acc) const {

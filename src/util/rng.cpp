@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/bitmatrix.hpp"
+#include "util/bitvector.hpp"
+
 namespace pimecc::util {
 
 namespace {
@@ -121,6 +124,17 @@ std::uint64_t Rng::poisson(double mean) {
   if (mean <= 0.0) return 0;
   std::poisson_distribution<std::uint64_t> dist(mean);
   return dist(*this);
+}
+
+void fill_random(BitVector& bits, Rng& rng) {
+  for (auto& word : bits.words_mutable()) word = rng.next();
+  bits.sanitize();
+}
+
+BitMatrix random_bit_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  BitMatrix mat(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) fill_random(mat.row(r), rng);
+  return mat;
 }
 
 }  // namespace pimecc::util

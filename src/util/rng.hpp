@@ -65,4 +65,18 @@ class Rng {
   std::uint64_t state_[4] = {};
 };
 
+class BitMatrix;
+class BitVector;
+
+/// Fills `bits` with uniform random bits, word-parallel: one next() draw
+/// per backing 64-bit word (NOT one per bit -- callers relying on draw
+/// counts must not mix this with per-bit bernoulli fills).  The shared fill
+/// discipline of the engine benches, differential harnesses, and
+/// MemorySystem::load_random.
+void fill_random(BitVector& bits, Rng& rng);
+
+/// A rows x cols matrix of uniform random bits (fill_random per row).
+[[nodiscard]] BitMatrix random_bit_matrix(std::size_t rows, std::size_t cols,
+                                          Rng& rng);
+
 }  // namespace pimecc::util

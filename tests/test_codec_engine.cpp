@@ -32,13 +32,7 @@ using util::Rng;
 constexpr std::size_t kOddM[] = {3, 5, 7, 9, 31, 65};
 
 BitMatrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
-  BitMatrix mat(rows, cols);
-  for (std::size_t r = 0; r < rows; ++r) {
-    BitVector& row = mat.row(r);
-    for (auto& word : row.words_mutable()) word = rng.next();
-    row.sanitize();
-  }
-  return mat;
+  return util::random_bit_matrix(rows, cols, rng);
 }
 
 BitVector random_bits(std::size_t size, Rng& rng) {

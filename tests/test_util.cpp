@@ -233,6 +233,23 @@ TEST(BitMatrix, ColumnIntoMatchesBitSerialExtraction) {
   EXPECT_THROW(m.column_into(130, out), std::out_of_range);
 }
 
+TEST(BitMatrix, ColumnIntoOverwritesDirtyReusedBuffer) {
+  // The single-pass store must fully overwrite a reused scratch buffer --
+  // stale set bits from a previous (larger) extraction must not survive,
+  // including in the final partial word.
+  BitMatrix m(70, 4);
+  m.set(0, 1, true);
+  m.set(69, 1, true);
+  BitVector out(100, true);
+  m.column_into(1, out);
+  ASSERT_EQ(out.size(), 70u);
+  EXPECT_EQ(out.count(), 2u);
+  EXPECT_TRUE(out.get(0));
+  EXPECT_TRUE(out.get(69));
+  m.column_into(0, out);
+  EXPECT_EQ(out.count(), 0u);
+}
+
 TEST(BitMatrix, OrColumnIntoAccumulates) {
   BitMatrix m(5, 5);
   m.set(1, 2, true);

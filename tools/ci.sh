@@ -52,4 +52,16 @@ else
   echo "==== bench_codec_throughput not built; skipping smoke bench ===="
 fi
 
+# And the arch layer: the smoke configuration runs the full fast-vs-reference
+# machine cross-check (identical protected program + fault injection; contents,
+# check state, cycle counters and reports must all agree) and gates on it.
+arch_bin="$release_dir/bench/bench_arch_throughput"
+if [[ -n "$release_dir" && -x "$arch_bin" ]]; then
+  echo "==== [Release] bench_arch_throughput (smoke) ===="
+  "$arch_bin" --smoke --out="$release_dir/BENCH_arch.json"
+  echo "archived $release_dir/BENCH_arch.json"
+else
+  echo "==== bench_arch_throughput not built; skipping smoke bench ===="
+fi
+
 echo "==== CI gate passed (Debug + Release) ===="
