@@ -1,0 +1,355 @@
+// Reliability throughput harness: measures the sparse event-driven engine
+// against its dense reference on both reliability hot paths and emits
+// machine-readable BENCH_reliability.json -- the reliability-layer
+// companion of bench_engine/codec/arch_throughput.
+//
+//   1. montecarlo: trials/second, run_montecarlo (O(flips) sparse trials:
+//      inject -> scrub_block on touched blocks -> exact residual -> undo-log
+//      rollback) vs reference_run_montecarlo (per-trial golden copies +
+//      whole-array scrub + row-XOR scan).  SERs are chosen so a trial
+//      carries ~3 flips on average, the paper's rare-event regime.
+//   2. lifetime: scrub windows/second, simulate_lifetime (geometric
+//      skip-ahead over empty windows + conditioned hit counts) vs
+//      reference_simulate_lifetime (one binomial per window) across a
+//      multi-year horizon where most windows are empty.
+//
+// Every run first executes the cross-check gate and the process exit
+// status reflects it:
+//   - montecarlo: fast and reference counters must be EQUAL on a shared
+//     seed for every timed configuration (miscorrected excluded: the
+//     sparse engine is exact where the reference approximates, so it is
+//     gated by <= instead);
+//   - lifetime: exact scrub-count equality at zero rate, and on a hot
+//     configuration matched failure counts within a 5-sigma binomial band
+//     plus empirical-vs-analytic MTTF agreement for both engines.
+//
+// Usage: bench_reliability_throughput [--smoke] [--out=PATH]
+//   --smoke    fast CI configuration (small arrays, short measurements)
+//   --out=PATH where to write the JSON (default: BENCH_reliability.json)
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "reliability/lifetime.hpp"
+#include "reliability/montecarlo.hpp"
+#include "reliability/reference_reliability.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using pimecc::rel::LifetimeConfig;
+using pimecc::rel::LifetimeResult;
+using pimecc::rel::MonteCarloConfig;
+using pimecc::rel::MonteCarloResult;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// FIT/bit that makes the expected flip count per window equal `mean_flips`
+/// over a `population`-cell array: p = mean/population, fit = p * 1e9 / T.
+double fit_for_mean_flips(double mean_flips, std::size_t population,
+                          double window_hours) {
+  const double p = mean_flips / static_cast<double>(population);
+  return p * 1e9 / window_hours;
+}
+
+MonteCarloResult without_miscorrected(MonteCarloResult r) {
+  r.miscorrected = 0;
+  return r;
+}
+
+struct MetricResult {
+  double ref_per_sec = 0.0;
+  double fast_per_sec = 0.0;
+  [[nodiscard]] double speedup() const { return fast_per_sec / ref_per_sec; }
+};
+
+struct McConfigResult {
+  std::size_t n = 0, m = 0;
+  double fit = 0.0;
+  double mean_flips = 0.0;
+  MetricResult trials;
+};
+
+struct LtConfigResult {
+  std::size_t n = 0, m = 0, crossbars = 0;
+  double fit = 0.0;
+  double horizon_hours = 0.0;
+  std::uint64_t windows_per_trial = 0;
+  MetricResult windows;
+};
+
+/// Runs `campaign(trials)` repeatedly until `min_seconds` elapsed; returns
+/// units/second where `campaign` reports how many units one call covered.
+template <typename Campaign>
+double measure_rate(double min_seconds, Campaign&& campaign) {
+  double units = 0.0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    units += campaign();
+    elapsed = seconds_since(start);
+  } while (elapsed < min_seconds);
+  return units / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pimecc;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_reliability.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_reliability_throughput [--smoke] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  bool cross_checks_ok = true;
+  const double min_seconds = smoke ? 0.05 : 1.0;
+
+  // ------------------------------------------------------------ montecarlo
+  struct McCase {
+    std::size_t n, m;
+  };
+  const std::vector<McCase> mc_cases =
+      smoke ? std::vector<McCase>{{120, 15}}
+            : std::vector<McCase>{{510, 15}, {1020, 15}};
+  std::vector<McConfigResult> mc_results;
+  for (const McCase& c : mc_cases) {
+    MonteCarloConfig config;
+    config.n = c.n;
+    config.m = c.m;
+    config.window_hours = 24.0;
+    config.threads = 1;
+    const std::size_t blocks = (c.n / c.m) * (c.n / c.m);
+    const std::size_t population = c.n * c.n + blocks * 2 * c.m;
+    const double mean_flips = 3.0;
+    config.fit_per_bit = fit_for_mean_flips(mean_flips, population, 24.0);
+
+    // Cross-check gate: shared seed, counter equality per substream.
+    config.trials = smoke ? 30 : 40;
+    util::Rng fast_rng(0xBE7C'7E57ull), ref_rng(0xBE7C'7E57ull);
+    const MonteCarloResult fast = rel::run_montecarlo(config, fast_rng);
+    const MonteCarloResult ref = rel::reference_run_montecarlo(config, ref_rng);
+    if (!(without_miscorrected(fast) == without_miscorrected(ref)) ||
+        fast.miscorrected > ref.miscorrected ||
+        fast.miscorrected > fast.blocks_failed) {
+      std::cerr << "montecarlo cross-check FAILED at n=" << c.n << " m=" << c.m
+                << "\n";
+      cross_checks_ok = false;
+    }
+
+    McConfigResult r;
+    r.n = c.n;
+    r.m = c.m;
+    r.fit = config.fit_per_bit;
+    r.mean_flips = mean_flips;
+
+    const std::size_t fast_trials = smoke ? 2000 : 20000;
+    const std::size_t ref_trials = smoke ? 50 : 100;
+    std::uint64_t stamp = 1;
+    r.trials.fast_per_sec = measure_rate(min_seconds, [&] {
+      config.trials = fast_trials;
+      util::Rng rng(stamp++);
+      (void)rel::run_montecarlo(config, rng);
+      return static_cast<double>(fast_trials);
+    });
+    r.trials.ref_per_sec = measure_rate(min_seconds, [&] {
+      config.trials = ref_trials;
+      util::Rng rng(stamp++);
+      (void)rel::reference_run_montecarlo(config, rng);
+      return static_cast<double>(ref_trials);
+    });
+    mc_results.push_back(r);
+    std::cout << "montecarlo n=" << c.n << " m=" << c.m << ": sparse "
+              << fmt(r.trials.fast_per_sec) << " trials/s, reference "
+              << fmt(r.trials.ref_per_sec) << " trials/s -> "
+              << fmt(r.trials.speedup()) << "x\n";
+  }
+
+  // -------------------------------------------------------------- lifetime
+  struct LtCase {
+    std::size_t n, m, crossbars;
+    double horizon_hours;
+  };
+  const std::vector<LtCase> lt_cases =
+      smoke ? std::vector<LtCase>{{60, 15, 1, 24.0 * 365 * 10}}
+            : std::vector<LtCase>{{1020, 15, 1, 24.0 * 365 * 20}};
+  std::vector<LtConfigResult> lt_results;
+  for (const LtCase& c : lt_cases) {
+    LifetimeConfig config;
+    config.n = c.n;
+    config.m = c.m;
+    config.crossbars = c.crossbars;
+    config.scrub_period_hours = 24.0;
+    config.max_hours = c.horizon_hours;
+    config.threads = 1;
+    const std::size_t blocks = (c.n / c.m) * (c.n / c.m) * c.crossbars;
+    const std::uint64_t cells =
+        static_cast<std::uint64_t>(blocks) * (c.m * c.m + 2 * c.m);
+    // Rare-event regime: ~1 non-empty window per hundred, the setting the
+    // skip-ahead is built for (Fig. 6 rates are far rarer still).
+    config.fit_per_bit =
+        fit_for_mean_flips(0.01, static_cast<std::size_t>(cells), 24.0);
+
+    LtConfigResult r;
+    r.n = c.n;
+    r.m = c.m;
+    r.crossbars = c.crossbars;
+    r.fit = config.fit_per_bit;
+    r.horizon_hours = c.horizon_hours;
+    r.windows_per_trial = static_cast<std::uint64_t>(
+        std::ceil(c.horizon_hours / config.scrub_period_hours));
+
+    // Exact gate: at zero rate both engines must scrub every window of
+    // every trial -- pins the skip-ahead's window accounting to the walker.
+    {
+      LifetimeConfig zero = config;
+      zero.fit_per_bit = 0.0;
+      zero.trials = 3;
+      util::Rng fz(1), rz(1);
+      const LifetimeResult a = rel::simulate_lifetime(zero, fz);
+      const LifetimeResult b = rel::reference_simulate_lifetime(zero, rz);
+      if (a.scrubs_performed != b.scrubs_performed || a.failures != 0 ||
+          b.failures != 0) {
+        std::cerr << "lifetime zero-rate cross-check FAILED at n=" << c.n << "\n";
+        cross_checks_ok = false;
+      }
+    }
+
+    std::uint64_t stamp = 1000;
+    const std::size_t fast_trials = smoke ? 50 : 200;
+    const std::size_t ref_trials = smoke ? 5 : 10;
+    r.windows.fast_per_sec = measure_rate(min_seconds, [&] {
+      config.trials = fast_trials;
+      util::Rng rng(stamp++);
+      return static_cast<double>(rel::simulate_lifetime(config, rng).scrubs_performed);
+    });
+    r.windows.ref_per_sec = measure_rate(min_seconds, [&] {
+      config.trials = ref_trials;
+      util::Rng rng(stamp++);
+      return static_cast<double>(
+          rel::reference_simulate_lifetime(config, rng).scrubs_performed);
+    });
+    lt_results.push_back(r);
+    std::cout << "lifetime n=" << c.n << " m=" << c.m << " x" << c.crossbars
+              << " horizon=" << fmt(c.horizon_hours / 8760.0)
+              << "y: skip-ahead " << fmt(r.windows.fast_per_sec)
+              << " windows/s, reference " << fmt(r.windows.ref_per_sec)
+              << " windows/s -> " << fmt(r.windows.speedup()) << "x\n";
+  }
+
+  // Hot-configuration distribution gate: the skip-ahead resamples the
+  // stream, so the pinning is matched failure counts (binomial band) and
+  // analytic-model agreement, not bit equality.
+  {
+    LifetimeConfig hot;
+    hot.n = 60;
+    hot.m = 15;
+    hot.crossbars = 4;
+    hot.fit_per_bit = 1e4;  // analytic MTTF ~ 221 h
+    hot.scrub_period_hours = 24.0;
+    hot.max_hours = 240.0;
+    hot.trials = smoke ? 200 : 600;
+    util::Rng fast_rng(0x11FE'7'BE11ull), ref_rng(0x11FE'7'BE11ull);
+    const LifetimeResult fast = rel::simulate_lifetime(hot, fast_rng);
+    const LifetimeResult ref = rel::reference_simulate_lifetime(hot, ref_rng);
+    const double n = static_cast<double>(hot.trials);
+    const double pf = static_cast<double>(fast.failures) / n;
+    const double pr = static_cast<double>(ref.failures) / n;
+    const double sigma = std::sqrt((pf * (1 - pf) + pr * (1 - pr)) / n);
+    if (fast.failures == 0 || ref.failures == 0 ||
+        std::abs(pf - pr) > 5.0 * sigma + 1e-9) {
+      std::cerr << "lifetime failure-count cross-check FAILED: fast "
+                << fast.failures << "/" << hot.trials << " vs reference "
+                << ref.failures << "/" << hot.trials << "\n";
+      cross_checks_ok = false;
+    }
+    const double analytic = rel::analytic_mttf_hours(hot);
+    for (const auto& [name, result] :
+         {std::pair<const char*, const LifetimeResult*>{"skip-ahead", &fast},
+          {"reference", &ref}}) {
+      const double empirical = result->empirical_mttf_hours(hot.max_hours);
+      if (std::abs(empirical / analytic - 1.0) > 0.35) {
+        std::cerr << "lifetime analytic cross-check FAILED (" << name << "): "
+                  << fmt(empirical) << " h vs analytic " << fmt(analytic)
+                  << " h\n";
+        cross_checks_ok = false;
+      }
+    }
+  }
+
+  std::cout << "cross-checks: " << (cross_checks_ok ? "ok" : "FAILED -- BUG")
+            << "\n";
+
+  // ------------------------------------------------------------------ JSON
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"schema\": \"pimecc-bench-reliability/1\",\n"
+       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"cross_checks_ok\": " << (cross_checks_ok ? "true" : "false")
+       << ",\n"
+       << "  \"montecarlo\": [\n";
+  for (std::size_t i = 0; i < mc_results.size(); ++i) {
+    const McConfigResult& r = mc_results[i];
+    json << "    {\"n\": " << r.n << ", \"m\": " << r.m
+         << ", \"fit_per_bit\": " << fmt(r.fit)
+         << ", \"mean_flips_per_trial\": " << fmt(r.mean_flips)
+         << ", \"reference_trials_per_sec\": " << fmt(r.trials.ref_per_sec)
+         << ", \"sparse_trials_per_sec\": " << fmt(r.trials.fast_per_sec)
+         << ", \"speedup\": " << fmt(r.trials.speedup()) << "}"
+         << (i + 1 < mc_results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"lifetime\": [\n";
+  for (std::size_t i = 0; i < lt_results.size(); ++i) {
+    const LtConfigResult& r = lt_results[i];
+    json << "    {\"n\": " << r.n << ", \"m\": " << r.m << ", \"crossbars\": "
+         << r.crossbars << ", \"fit_per_bit\": " << fmt(r.fit)
+         << ", \"horizon_hours\": " << fmt(r.horizon_hours)
+         << ", \"windows_per_trial\": " << r.windows_per_trial
+         << ", \"reference_windows_per_sec\": " << fmt(r.windows.ref_per_sec)
+         << ", \"skip_ahead_windows_per_sec\": " << fmt(r.windows.fast_per_sec)
+         << ", \"speedup\": " << fmt(r.windows.speedup()) << "}"
+         << (i + 1 < lt_results.size() ? "," : "") << "\n";
+  }
+  const McConfigResult& mc_largest = mc_results.back();
+  const LtConfigResult& lt_largest = lt_results.back();
+  json << "  ],\n"
+       << "  \"largest_config\": {\"montecarlo_n\": " << mc_largest.n
+       << ", \"montecarlo_m\": " << mc_largest.m
+       << ", \"montecarlo_speedup\": " << fmt(mc_largest.trials.speedup())
+       << ", \"lifetime_n\": " << lt_largest.n
+       << ", \"lifetime_horizon_years\": "
+       << fmt(lt_largest.horizon_hours / 8760.0)
+       << ", \"lifetime_speedup\": " << fmt(lt_largest.windows.speedup())
+       << "}\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return cross_checks_ok ? 0 : 1;
+}

@@ -169,7 +169,8 @@ ScrubReport ArrayCode::scrub(util::BitMatrix& data) {
 
 void ArrayCode::classify_and_repair(util::BitMatrix& data, BlockIndex b,
                                     std::uint64_t fresh_lead,
-                                    std::uint64_t fresh_cnt, ScrubReport& report) {
+                                    std::uint64_t fresh_cnt, ScrubReport& report,
+                                    BlockRepair* repair) {
   const std::size_t mm = m();
   CheckBits& stored = blocks_[b.block_row * blocks_per_side() + b.block_col];
   const std::uint64_t syn_lead = fresh_lead ^ stored.leading.low_word();
@@ -177,6 +178,7 @@ void ArrayCode::classify_and_repair(util::BitMatrix& data, BlockIndex b,
   ++report.blocks_checked;
   if (syn_lead == 0 && syn_cnt == 0) {
     ++report.clean;
+    if (repair) repair->status = DecodeStatus::kClean;
     return;
   }
   const int nl = std::popcount(syn_lead);
@@ -187,15 +189,61 @@ void ArrayCode::classify_and_repair(util::BitMatrix& data, BlockIndex b,
          static_cast<std::size_t>(std::countr_zero(syn_cnt))});
     data.flip(b.block_row * mm + cell.r, b.block_col * mm + cell.c);
     ++report.corrected_data;
+    if (repair) {
+      repair->status = DecodeStatus::kCorrectedData;
+      repair->data_r = b.block_row * mm + cell.r;
+      repair->data_c = b.block_col * mm + cell.c;
+    }
   } else if (nl == 1 && nc == 0) {
-    stored.leading.flip(static_cast<std::size_t>(std::countr_zero(syn_lead)));
+    const auto index = static_cast<std::size_t>(std::countr_zero(syn_lead));
+    stored.leading.flip(index);
     ++report.corrected_check;
+    if (repair) {
+      repair->status = DecodeStatus::kCorrectedCheck;
+      repair->check_on_leading_axis = true;
+      repair->check_index = index;
+    }
   } else if (nl == 0 && nc == 1) {
-    stored.counter.flip(static_cast<std::size_t>(std::countr_zero(syn_cnt)));
+    const auto index = static_cast<std::size_t>(std::countr_zero(syn_cnt));
+    stored.counter.flip(index);
     ++report.corrected_check;
+    if (repair) {
+      repair->status = DecodeStatus::kCorrectedCheck;
+      repair->check_on_leading_axis = false;
+      repair->check_index = index;
+    }
   } else {
     ++report.uncorrectable;
+    if (repair) repair->status = DecodeStatus::kDetectedUncorrectable;
   }
+}
+
+BlockRepair ArrayCode::scrub_block(util::BitMatrix& data, BlockIndex b) {
+  require_shape(data);
+  const std::size_t mm = m();
+  BlockRepair repair;
+  if (mm > diagword::kMaxM) {
+    // Bit-serial fallback via the per-block codec path; translate the
+    // DecodeResult's block-relative coordinates to absolute ones.
+    const DecodeResult r = check_block(data, b);
+    repair.status = r.status;
+    if (r.data_error) {
+      repair.data_r = b.block_row * mm + r.data_error->r;
+      repair.data_c = b.block_col * mm + r.data_error->c;
+    }
+    if (r.check_error) {
+      repair.check_on_leading_axis = r.check_error->on_leading_axis;
+      repair.check_index = r.check_error->index;
+    }
+    return repair;
+  }
+  (void)flat_index(b);  // bounds check before touching any state
+  std::uint64_t lead = 0;
+  std::uint64_t cnt = 0;
+  accumulate_block(data, b.block_row * mm, b.block_col * mm, mm, lead, cnt);
+  ScrubReport scratch;
+  classify_and_repair(data, b, lead, cnt, scratch, &repair);
+  return repair;
 }
 
 ScrubReport ArrayCode::scrub_band(util::BitMatrix& data, bool row_band,

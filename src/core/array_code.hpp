@@ -30,6 +30,20 @@ struct CellWrite {
   bool new_value = false;
 };
 
+/// Outcome of scrubbing a single block: the DecodeStatus plus where the
+/// repair landed, in absolute array coordinates and without the
+/// DecodeResult allocation.  Enough to undo the repair (flips are
+/// involutions) or to compute a residual diff against a pre-fault image --
+/// the sparse Monte Carlo engine's per-touched-block bookkeeping.
+struct BlockRepair {
+  DecodeStatus status = DecodeStatus::kClean;
+  std::size_t data_r = 0;  ///< absolute row of the flipped data bit (kCorrectedData)
+  std::size_t data_c = 0;  ///< absolute column of the flipped data bit (kCorrectedData)
+  bool check_on_leading_axis = false;  ///< which family was repaired (kCorrectedCheck)
+  std::size_t check_index = 0;         ///< diagonal index of the repaired check bit
+  bool operator==(const BlockRepair&) const noexcept = default;
+};
+
 /// Summary of a whole-array scrub.
 struct ScrubReport {
   std::size_t blocks_checked = 0;
@@ -86,6 +100,12 @@ class ArrayCode {
   /// a block-row; one per-block segment peel per band for a block-column.
   ScrubReport scrub_band(util::BitMatrix& data, bool row_band, std::size_t band);
 
+  /// Checks (and corrects, exactly like scrub) the single block `b`:
+  /// scrub_band generalized to block granularity, O(m) word ops.  Returns
+  /// what was repaired and where, so a caller tracking its own fault set
+  /// can compute the block's residual and roll the repair back.
+  BlockRepair scrub_block(util::BitMatrix& data, BlockIndex b);
+
   /// Differential continuous update for one whole written line (the
   /// critical-operation protocol's steps 1+3 fused): `delta` is
   /// old XOR new of the line's n bits.  For a written column
@@ -115,7 +135,7 @@ class ArrayCode {
   /// tail of scrub and scrub_band.
   void classify_and_repair(util::BitMatrix& data, BlockIndex b,
                            std::uint64_t fresh_lead, std::uint64_t fresh_cnt,
-                           ScrubReport& report);
+                           ScrubReport& report, BlockRepair* repair = nullptr);
 
   std::size_t n_;
   BlockCodec codec_;

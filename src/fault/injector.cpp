@@ -2,31 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace pimecc::fault {
 
 namespace {
-
-/// Samples `count` distinct values in [0, population) (Floyd's algorithm).
-/// Returned sorted: hash-set iteration order is implementation-defined, and
-/// the deterministic Monte Carlo engine needs the injection record to
-/// depend only on the rng stream, not on container internals.
-std::vector<std::size_t> sample_distinct(util::Rng& rng, std::size_t population,
-                                         std::size_t count) {
-  if (count > population) {
-    throw std::invalid_argument("sample_distinct: count exceeds population");
-  }
-  std::unordered_set<std::size_t> chosen;
-  chosen.reserve(count);
-  for (std::size_t j = population - count; j < population; ++j) {
-    const std::size_t t = static_cast<std::size_t>(rng.uniform_below(j + 1));
-    if (!chosen.insert(t).second) chosen.insert(j);
-  }
-  std::vector<std::size_t> out(chosen.begin(), chosen.end());
-  std::sort(out.begin(), out.end());
-  return out;
-}
 
 CheckFlip apply_check_flip(ecc::ArrayCode& code, std::size_t block_row,
                            std::size_t block_col, std::size_t check_slot) {
@@ -47,29 +26,60 @@ CheckFlip apply_check_flip(ecc::ArrayCode& code, std::size_t block_row,
 
 }  // namespace
 
-InjectionRecord inject_data_flips(util::Rng& rng, util::BitMatrix& data,
-                                  std::size_t count) {
-  InjectionRecord record;
+void sample_distinct(util::Rng& rng, std::size_t population, std::size_t count,
+                     std::vector<std::size_t>& out) {
+  out.clear();
+  if (count > population) {
+    throw std::invalid_argument("sample_distinct: count exceeds population");
+  }
+  // Floyd: for j in [population - count, population), pick t <= j; if t was
+  // already chosen take j itself.  Every value already in `out` is < j, so
+  // taking j is a plain push_back and the vector stays sorted.
+  for (std::size_t j = population - count; j < population; ++j) {
+    const std::size_t t = static_cast<std::size_t>(rng.uniform_below(j + 1));
+    const auto it = std::lower_bound(out.begin(), out.end(), t);
+    if (it != out.end() && *it == t) {
+      out.push_back(j);
+    } else {
+      out.insert(it, t);
+    }
+  }
+}
+
+void inject_data_flips(util::Rng& rng, util::BitMatrix& data, std::size_t count,
+                       InjectionRecord& record,
+                       std::vector<std::size_t>& scratch) {
+  record.clear();
   const std::size_t population = data.rows() * data.cols();
-  for (const std::size_t flat : sample_distinct(rng, population, count)) {
+  sample_distinct(rng, population, count, scratch);
+  for (const std::size_t flat : scratch) {
     const std::size_t r = flat / data.cols();
     const std::size_t c = flat % data.cols();
     data.flip(r, c);
     record.data_flips.push_back({r, c});
   }
+}
+
+InjectionRecord inject_data_flips(util::Rng& rng, util::BitMatrix& data,
+                                  std::size_t count) {
+  InjectionRecord record;
+  std::vector<std::size_t> scratch;
+  inject_data_flips(rng, data, count, record, scratch);
   return record;
 }
 
-InjectionRecord inject_flips_everywhere(util::Rng& rng, util::BitMatrix& data,
-                                        ecc::ArrayCode& code, std::size_t count) {
+void inject_flips_everywhere(util::Rng& rng, util::BitMatrix& data,
+                             ecc::ArrayCode& code, std::size_t count,
+                             InjectionRecord& record,
+                             std::vector<std::size_t>& scratch) {
   if (data.rows() != code.n() || data.cols() != code.n()) {
     throw std::invalid_argument("inject_flips_everywhere: shape mismatch");
   }
-  InjectionRecord record;
+  record.clear();
   const std::size_t data_cells = code.n() * code.n();
   const std::size_t check_cells = code.block_count() * 2 * code.m();
-  for (const std::size_t flat :
-       sample_distinct(rng, data_cells + check_cells, count)) {
+  sample_distinct(rng, data_cells + check_cells, count, scratch);
+  for (const std::size_t flat : scratch) {
     if (flat < data_cells) {
       const std::size_t r = flat / code.n();
       const std::size_t c = flat % code.n();
@@ -84,6 +94,13 @@ InjectionRecord inject_flips_everywhere(util::Rng& rng, util::BitMatrix& data,
           code, block / code.blocks_per_side(), block % code.blocks_per_side(), slot));
     }
   }
+}
+
+InjectionRecord inject_flips_everywhere(util::Rng& rng, util::BitMatrix& data,
+                                        ecc::ArrayCode& code, std::size_t count) {
+  InjectionRecord record;
+  std::vector<std::size_t> scratch;
+  inject_flips_everywhere(rng, data, code, count, record, scratch);
   return record;
 }
 
@@ -91,11 +108,22 @@ InjectionRecord inject_block_flips(util::Rng& rng, util::BitMatrix& data,
                                    ecc::ArrayCode& code, std::size_t block_row,
                                    std::size_t block_col, std::size_t count,
                                    bool include_check_bits) {
+  // Validate before mutating (and before consuming any randomness): a bad
+  // block coordinate used to flip data cells at out-of-range positions
+  // before check_bits_mutable finally threw.
+  if (data.rows() != code.n() || data.cols() != code.n()) {
+    throw std::invalid_argument("inject_block_flips: shape mismatch");
+  }
+  if (block_row >= code.blocks_per_side() || block_col >= code.blocks_per_side()) {
+    throw std::out_of_range("inject_block_flips: block index out of range");
+  }
   InjectionRecord record;
   const std::size_t m = code.m();
   const std::size_t data_cells = m * m;
   const std::size_t population = data_cells + (include_check_bits ? 2 * m : 0);
-  for (const std::size_t flat : sample_distinct(rng, population, count)) {
+  std::vector<std::size_t> scratch;
+  sample_distinct(rng, population, count, scratch);
+  for (const std::size_t flat : scratch) {
     if (flat < data_cells) {
       const std::size_t r = block_row * m + flat / m;
       const std::size_t c = block_col * m + flat % m;
@@ -107,6 +135,50 @@ InjectionRecord inject_block_flips(util::Rng& rng, util::BitMatrix& data,
     }
   }
   return record;
+}
+
+namespace {
+
+void require_data_flips_in_range(const InjectionRecord& record,
+                                 const util::BitMatrix& data) {
+  for (const DataFlip& f : record.data_flips) {
+    if (f.r >= data.rows() || f.c >= data.cols()) {
+      throw std::out_of_range("undo: data flip out of range");
+    }
+  }
+}
+
+}  // namespace
+
+void undo(const InjectionRecord& record, util::BitMatrix& data,
+          ecc::ArrayCode& code) {
+  if (data.rows() != code.n() || data.cols() != code.n()) {
+    throw std::invalid_argument("undo: shape mismatch");
+  }
+  require_data_flips_in_range(record, data);
+  for (const CheckFlip& f : record.check_flips) {
+    if (f.block_row >= code.blocks_per_side() ||
+        f.block_col >= code.blocks_per_side() || f.index >= code.m()) {
+      throw std::out_of_range("undo: check flip out of range");
+    }
+  }
+  for (const DataFlip& f : record.data_flips) data.flip(f.r, f.c);
+  for (const CheckFlip& f : record.check_flips) {
+    ecc::CheckBits& bits = code.check_bits_mutable({f.block_row, f.block_col});
+    if (f.on_leading_axis) {
+      bits.leading.flip(f.index);
+    } else {
+      bits.counter.flip(f.index);
+    }
+  }
+}
+
+void undo(const InjectionRecord& record, util::BitMatrix& data) {
+  if (!record.check_flips.empty()) {
+    throw std::invalid_argument("undo: record has check flips but no code given");
+  }
+  require_data_flips_in_range(record, data);
+  for (const DataFlip& f : record.data_flips) data.flip(f.r, f.c);
 }
 
 }  // namespace pimecc::fault

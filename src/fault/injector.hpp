@@ -37,23 +37,57 @@ struct InjectionRecord {
   [[nodiscard]] std::size_t total() const noexcept {
     return data_flips.size() + check_flips.size();
   }
+  void clear() noexcept {
+    data_flips.clear();
+    check_flips.clear();
+  }
 };
+
+/// Fills `out` with `count` distinct values in [0, population), sorted
+/// ascending (Floyd's algorithm over a sorted vector: allocation-free once
+/// `out` has capacity, no hash-set rehash churn on the Monte Carlo hot
+/// path).  Rng consumption and the sampled set are identical to the
+/// historical hash-set implementation, so seeds reproduce old records.
+/// Throws std::invalid_argument (before drawing) if count > population.
+void sample_distinct(util::Rng& rng, std::size_t population, std::size_t count,
+                     std::vector<std::size_t>& out);
 
 /// Flips exactly `count` distinct uniformly-chosen data cells.
 InjectionRecord inject_data_flips(util::Rng& rng, util::BitMatrix& data,
                                   std::size_t count);
+/// Allocation-free variant: `record` is cleared and refilled (capacity
+/// reused across calls), `scratch` holds the sampled flat indices.
+void inject_data_flips(util::Rng& rng, util::BitMatrix& data, std::size_t count,
+                       InjectionRecord& record, std::vector<std::size_t>& scratch);
 
 /// Flips exactly `count` distinct uniformly-chosen cells across the union
 /// of data cells and check bits of `code` (the physically faithful
 /// population for the paper's per-block reliability analysis).
 InjectionRecord inject_flips_everywhere(util::Rng& rng, util::BitMatrix& data,
                                         ecc::ArrayCode& code, std::size_t count);
+/// Allocation-free variant; see inject_data_flips.
+void inject_flips_everywhere(util::Rng& rng, util::BitMatrix& data,
+                             ecc::ArrayCode& code, std::size_t count,
+                             InjectionRecord& record,
+                             std::vector<std::size_t>& scratch);
 
 /// Flips `count` distinct cells inside one m x m block (+its check bits if
-/// `include_check_bits`), for targeted per-block experiments.
+/// `include_check_bits`), for targeted per-block experiments.  Validates
+/// the shape and block coordinates before mutating anything (and before
+/// consuming any randomness).
 InjectionRecord inject_block_flips(util::Rng& rng, util::BitMatrix& data,
                                    ecc::ArrayCode& code, std::size_t block_row,
                                    std::size_t block_col, std::size_t count,
                                    bool include_check_bits);
+
+/// Batch undo: re-flips every cell in `record`, restoring the exact
+/// pre-injection data and check state (flips are involutions; order is
+/// irrelevant).  The whole record is validated against the shapes before
+/// anything is mutated.  Also correct for partially-repaired state in the
+/// XOR sense: undoing after a scrub re-applies exactly the injected deltas.
+void undo(const InjectionRecord& record, util::BitMatrix& data,
+          ecc::ArrayCode& code);
+/// Data-only undo for records with no check flips (throws otherwise).
+void undo(const InjectionRecord& record, util::BitMatrix& data);
 
 }  // namespace pimecc::fault

@@ -1,0 +1,46 @@
+// pimecc -- reliability/config_checks.hpp
+//
+// Shared validate-before-run helpers for the reliability entry points.
+// The fast and reference engines must reject bad configurations
+// identically, and must do so before drawing from the caller's generator
+// or touching any state (the PR 2-4 validate-before-mutate convention).
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "reliability/lifetime.hpp"
+#include "reliability/montecarlo.hpp"
+
+namespace pimecc::rel {
+
+inline void require_valid(const MonteCarloConfig& config) {
+  if (config.n == 0 || config.m == 0 || config.n % config.m != 0) {
+    throw std::invalid_argument("run_montecarlo: m must divide n");
+  }
+  if (!(config.window_hours > 0.0) || !std::isfinite(config.window_hours)) {
+    throw std::invalid_argument(
+        "run_montecarlo: window_hours must be positive and finite");
+  }
+  if (config.fit_per_bit < 0.0 || !std::isfinite(config.fit_per_bit)) {
+    throw std::invalid_argument(
+        "run_montecarlo: fit_per_bit must be non-negative and finite");
+  }
+}
+
+inline void require_valid(const LifetimeConfig& config) {
+  if (config.n == 0 || config.m == 0 || config.n % config.m != 0 ||
+      config.m % 2 == 0) {
+    throw std::invalid_argument("simulate_lifetime: need odd m dividing n");
+  }
+  if (config.scrub_period_hours <= 0.0 ||
+      !std::isfinite(config.scrub_period_hours) || config.crossbars == 0) {
+    throw std::invalid_argument("simulate_lifetime: bad period or size");
+  }
+  if (!(config.max_hours > 0.0) || !std::isfinite(config.max_hours) ||
+      config.fit_per_bit < 0.0 || !std::isfinite(config.fit_per_bit)) {
+    throw std::invalid_argument("simulate_lifetime: bad horizon or rate");
+  }
+}
+
+}  // namespace pimecc::rel

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
 #include "reliability/analytic.hpp"
+#include "reliability/config_checks.hpp"
+#include "reliability/parallel.hpp"
 #include "util/units.hpp"
 
 namespace pimecc::rel {
@@ -20,14 +23,42 @@ double LifetimeResult::empirical_mttf_hours(double horizon) const noexcept {
          static_cast<double>(failures);
 }
 
+namespace {
+
+/// Binomial(n, p) conditioned on >= 1 success.  `s` is P(X >= 1) and
+/// `log_q` is n*log(1-p) (precomputed by the caller, shared across all
+/// windows).  Hybrid: when non-empty windows are common (s >= 1/2),
+/// rejection from the unconditional binomial terminates in <= 2 expected
+/// draws; in the rare-event regime it inverts the conditional CDF with the
+/// pmf recurrence, O(E[X | X >= 1]) ~ O(1) iterations.
+std::uint64_t positive_binomial(util::Rng& rng, std::uint64_t n, double p,
+                                double s, double log_q) {
+  if (p >= 1.0) return n;
+  if (s >= 0.5) {
+    while (true) {
+      const std::uint64_t x = rng.binomial(n, p);
+      if (x >= 1) return x;
+    }
+  }
+  const double u = rng.uniform01() * s;
+  // pmf(1) = n p (1-p)^(n-1), then pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p).
+  double pmf = static_cast<double>(n) * p * std::exp(log_q - std::log1p(-p));
+  double cdf = pmf;
+  std::uint64_t k = 1;
+  while (u > cdf && k < n) {
+    pmf *= (static_cast<double>(n - k) / static_cast<double>(k + 1)) *
+           (p / (1.0 - p));
+    cdf += pmf;
+    ++k;
+    if (pmf <= 0.0) break;  // underflow: all remaining mass is below u's ulp
+  }
+  return k;
+}
+
+}  // namespace
+
 LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
-  if (config.n == 0 || config.m == 0 || config.n % config.m != 0 ||
-      config.m % 2 == 0) {
-    throw std::invalid_argument("simulate_lifetime: need odd m dividing n");
-  }
-  if (config.scrub_period_hours <= 0.0 || config.crossbars == 0) {
-    throw std::invalid_argument("simulate_lifetime: bad period or size");
-  }
+  require_valid(config);
   const std::size_t blocks_per_side = config.n / config.m;
   const std::size_t blocks_per_xbar = blocks_per_side * blocks_per_side;
   const std::size_t total_blocks = blocks_per_xbar * config.crossbars;
@@ -35,51 +66,110 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
       config.m * config.m + (config.include_check_bits ? 2 * config.m : 0);
   const double p_window = util::error_probability(config.fit_per_bit,
                                                   config.scrub_period_hours);
+  const std::uint64_t total_cells =
+      static_cast<std::uint64_t>(total_blocks) * cells_per_block;
+
+  // Window count of the horizon, replicating the reference walker's
+  // accumulated-sum loop bit-for-bit (a closed-form ceil could disagree
+  // with `hours += period` rounding on awkward period values, and the
+  // zero-rate scrub accounting is pinned exactly against the reference).
+  std::uint64_t total_windows = 0;
+  for (double hours = 0.0; hours < config.max_hours;
+       hours += config.scrub_period_hours) {
+    if (hours + config.scrub_period_hours == hours) {
+      // The reference walker would never terminate here; reject instead.
+      throw std::invalid_argument(
+          "simulate_lifetime: scrub period underflows the horizon");
+    }
+    ++total_windows;
+  }
 
   LifetimeResult result;
   result.trials = config.trials;
 
-  // Per scrub window: errors land uniformly across all cells; a scrub
-  // clears blocks with <= 1 error and the memory fails on the first block
-  // holding >= 2.  Sampling one binomial for the whole memory per window
-  // (then assigning hits to blocks only when >= 2 landed) keeps long
-  // lifetimes tractable; the block-level abstraction is exact for the model
-  // under test (per-bit mechanics are validated by run_montecarlo).
-  const std::uint64_t total_cells =
-      static_cast<std::uint64_t>(total_blocks) * cells_per_block;
-  std::vector<std::size_t> hit_blocks;
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    double hours = 0.0;
-    bool failed = false;
-    while (hours < config.max_hours && !failed) {
-      hours += config.scrub_period_hours;
-      ++result.scrubs_performed;
-      const std::uint64_t hits = rng.binomial(total_cells, p_window);
-      if (hits == 0) continue;
-      if (hits == 1) {
-        ++result.errors_corrected;
+  // P(window non-empty) = 1 - (1-p)^cells, in log space for tiny p.
+  const double log_q0 =
+      p_window >= 1.0 ? -std::numeric_limits<double>::infinity()
+                      : static_cast<double>(total_cells) * std::log1p(-p_window);
+  const double s = -std::expm1(log_q0);
+
+  // One draw seeds all per-trial substreams (trial t -> stream t), so the
+  // caller's generator advances identically for every thread count.
+  const std::uint64_t base_seed = rng.next();
+
+  // Per-trial TTF (negative = survived), filled by whichever worker owns
+  // the trial and folded into the RunningStats in trial order after the
+  // join -- bit-identical statistics for any thread count.
+  std::vector<double> ttf(config.trials, -1.0);
+
+  struct Partial {
+    std::uint64_t scrubs = 0;
+    std::uint64_t corrected = 0;
+    std::size_t failures = 0;
+  };
+
+  auto run_range = [&](std::size_t first, std::size_t last, Partial& out) {
+    std::vector<std::size_t> hit_blocks;
+    for (std::size_t trial = first; trial < last; ++trial) {
+      util::Rng trial_rng = util::Rng::for_stream(base_seed, trial);
+      if (s <= 0.0) {  // no events can ever land: every window is empty
+        out.scrubs += total_windows;
         continue;
       }
-      // Assign each hit to a block; distinct-cell correction is negligible
-      // at the rates of interest (hits << cells_per_block).
-      hit_blocks.clear();
-      for (std::uint64_t h = 0; h < hits; ++h) {
-        hit_blocks.push_back(
-            static_cast<std::size_t>(rng.uniform_below(total_blocks)));
-      }
-      std::sort(hit_blocks.begin(), hit_blocks.end());
-      for (std::size_t i = 0; i + 1 < hit_blocks.size(); ++i) {
-        if (hit_blocks[i] == hit_blocks[i + 1]) {
-          failed = true;
-          break;
+      std::uint64_t window = 0;  // 1-based index of the last window handled
+      bool failed = false;
+      while (!failed) {
+        // Jump straight to the next non-empty window: `gap` empty windows,
+        // then one carrying >= 1 hit.
+        const std::uint64_t gap = trial_rng.geometric(s);
+        if (gap >= total_windows || window + gap >= total_windows) break;
+        window += gap + 1;
+        const std::uint64_t hits =
+            positive_binomial(trial_rng, total_cells, p_window, s, log_q0);
+        if (hits == 1) {
+          ++out.corrected;
+          continue;
         }
+        // Assign each hit to a block; the walk and the failure predicate
+        // are identical to the reference engine's.
+        hit_blocks.clear();
+        for (std::uint64_t h = 0; h < hits; ++h) {
+          hit_blocks.push_back(
+              static_cast<std::size_t>(trial_rng.uniform_below(total_blocks)));
+        }
+        std::sort(hit_blocks.begin(), hit_blocks.end());
+        for (std::size_t i = 0; i + 1 < hit_blocks.size(); ++i) {
+          if (hit_blocks[i] == hit_blocks[i + 1]) {
+            failed = true;
+            break;
+          }
+        }
+        if (!failed) out.corrected += hits;
       }
-      if (!failed) result.errors_corrected += hits;
+      if (failed) {
+        ++out.failures;
+        out.scrubs += window;  // the failing scrub is the last one performed
+        ttf[trial] =
+            static_cast<double>(window) * config.scrub_period_hours;
+      } else {
+        out.scrubs += total_windows;  // survived: every window was scrubbed
+      }
     }
-    if (failed) {
-      ++result.failures;
-      result.time_to_failure_hours.add(hours);
-    }
+  };
+
+  Partial total;
+  for (const Partial& partial : detail::run_partitioned<Partial>(
+           config.trials, config.threads, run_range)) {
+    total.scrubs += partial.scrubs;
+    total.corrected += partial.corrected;
+    total.failures += partial.failures;
+  }
+
+  result.scrubs_performed = total.scrubs;
+  result.errors_corrected = total.corrected;
+  result.failures = total.failures;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    if (ttf[trial] >= 0.0) result.time_to_failure_hours.add(ttf[trial]);
   }
   return result;
 }

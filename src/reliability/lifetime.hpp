@@ -7,6 +7,21 @@
 // possible).  Running many lifetimes yields an empirical MTTF that the
 // Section V-A closed form must predict -- the strongest end-to-end check
 // of Figure 6's machinery, complementing the per-block Monte Carlo.
+//
+// The engine is event-driven: instead of walking every scrub window of a
+// multi-year horizon one binomial at a time, it samples the index of the
+// next NON-EMPTY window directly (windows are iid, so the gap is geometric
+// in P(window non-empty); util::Rng::geometric) and then draws the window's
+// hit count from the binomial conditioned on >= 1 -- identical in
+// distribution to the window-by-window walk, at O(events) instead of
+// O(windows) per trial.  Trials run on a worker pool with the same
+// determinism contract as run_montecarlo: one base seed drawn from the
+// caller, trial t on substream t (util::Rng::for_stream), results
+// bit-identical for any thread count (per-trial TTFs are folded into the
+// RunningStats in trial order after the join).  Since skip-ahead resamples
+// the stream, the original walker is retained as
+// reference_simulate_lifetime (reference_reliability.hpp) and the two are
+// pinned by equivalence-of-distribution tests, not bit equality.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +41,7 @@ struct LifetimeConfig {
   std::size_t trials = 100;
   double max_hours = 1e7;         ///< per-trial simulation horizon
   bool include_check_bits = true;
+  std::size_t threads = 1;        ///< worker threads; 0 = hardware concurrency
 };
 
 /// Campaign outcome.
@@ -36,11 +52,18 @@ struct LifetimeResult {
   std::uint64_t scrubs_performed = 0;
   std::uint64_t errors_corrected = 0;
 
-  /// Empirical MTTF estimate (censored trials count the full horizon).
+  /// Empirical MTTF from a censored campaign: total observed exposure
+  /// (failed trials contribute their TTF, censored trials the full
+  /// `horizon`) divided by the failure count -- the standard censored-data
+  /// MLE for an exponential lifetime.  With failures == 0 the MLE is
+  /// undefined; by convention the function returns `horizon * trials`,
+  /// i.e. the total exposure, which lower-bounds any MTTF consistent with
+  /// observing zero failures.
   [[nodiscard]] double empirical_mttf_hours(double horizon) const noexcept;
 };
 
-/// Runs the campaign.
+/// Runs the campaign with the skip-ahead engine.  Draws exactly one value
+/// from `rng`; see the file comment for the determinism contract.
 [[nodiscard]] LifetimeResult simulate_lifetime(const LifetimeConfig& config,
                                                util::Rng& rng);
 

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <exception>
 #include <stdexcept>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/array_code.hpp"
 #include "fault/injector.hpp"
+#include "reliability/config_checks.hpp"
+#include "reliability/parallel.hpp"
 #include "util/bitmatrix.hpp"
 #include "util/bitvector.hpp"
 #include "util/units.hpp"
@@ -40,9 +41,7 @@ void accumulate(MonteCarloResult& total, const MonteCarloResult& partial) {
 }  // namespace
 
 MonteCarloResult run_montecarlo(const MonteCarloConfig& config, util::Rng& rng) {
-  if (config.n == 0 || config.m == 0 || config.n % config.m != 0) {
-    throw std::invalid_argument("run_montecarlo: m must divide n");
-  }
+  require_valid(config);
   const double p =
       util::error_probability(config.fit_per_bit, config.window_hours);
   const std::size_t data_cells = config.n * config.n;
@@ -57,7 +56,8 @@ MonteCarloResult run_montecarlo(const MonteCarloConfig& config, util::Rng& rng) 
       static_cast<std::uint64_t>(config.trials) * probe.block_count();
 
   // One draw from the caller's stream seeds everything below, so the
-  // caller's generator advances identically for every thread count.
+  // caller's generator advances identically for every thread count (and
+  // identically to reference_run_montecarlo).
   const std::uint64_t base_seed = rng.next();
 
   util::BitMatrix golden(config.n, config.n);
@@ -71,26 +71,28 @@ MonteCarloResult run_montecarlo(const MonteCarloConfig& config, util::Rng& rng) 
   }
   ecc::ArrayCode golden_code(config.n, config.m);
   golden_code.encode_all(golden);
-
   const std::size_t bps = golden_code.blocks_per_side();
-  // Column-range mask per block column: the failed-block scan is a row-XOR
-  // against these masks instead of a per-bit walk.
-  std::vector<util::BitVector> block_masks(bps, util::BitVector(config.n));
-  for (std::size_t bc = 0; bc < bps; ++bc) {
-    for (std::size_t c = bc * config.m; c < (bc + 1) * config.m; ++c) {
-      block_masks[bc].set(c, true);
-    }
-  }
+  const std::size_t mm = config.m;
 
-  // Runs trials [first, last) into `out`, with all scratch state local to
-  // the worker.  Each trial's randomness comes from its own substream, so
-  // the partition into workers cannot affect any sampled value.
+  // Runs trials [first, last) into `out`.  The worker's (data, code) pair
+  // is initialized to golden state ONCE and reconstituted after every
+  // trial by the undo log, so a trial costs O(flips) regardless of n:
+  //   1. inject (allocation-free record reuse),
+  //   2. scrub only the touched blocks (ArrayCode::scrub_block),
+  //   3. per touched block, residual = injected data flips XOR reported
+  //      data correction; surviving cells are exactly the bits still wrong,
+  //   4. rollback: re-flip the surviving cells, the reported check-bit
+  //      repair, and the injected check flips (XOR cancellation restores
+  //      golden state bit-for-bit).
+  // Untouched blocks stay consistent throughout, so skipping them is
+  // exact, and per-trial substreams make the worker partition irrelevant.
   auto run_range = [&](std::size_t first, std::size_t last, MonteCarloResult& out) {
-    util::BitMatrix data;
+    util::BitMatrix data = golden;
     ecc::ArrayCode code = golden_code;
-    util::BitVector band_acc(config.n);
-    util::BitVector diff(config.n);
-    std::vector<char> block_touched(golden_code.block_count());
+    fault::InjectionRecord record;
+    std::vector<std::size_t> scratch;
+    std::vector<std::size_t> touched;
+    std::vector<std::pair<std::size_t, std::size_t>> residual;
     for (std::size_t t = first; t < last; ++t) {
       util::Rng trial_rng = util::Rng::for_stream(base_seed, t + 1);
       const std::size_t flips =
@@ -99,94 +101,103 @@ MonteCarloResult run_montecarlo(const MonteCarloConfig& config, util::Rng& rng) 
       ++out.trials_with_errors;
       out.flips_injected += flips;
 
-      data = golden;
-      code = golden_code;
-      const fault::InjectionRecord record =
-          config.include_check_bits
-              ? fault::inject_flips_everywhere(trial_rng, data, code, flips)
-              : fault::inject_data_flips(trial_rng, data, flips);
+      if (config.include_check_bits) {
+        fault::inject_flips_everywhere(trial_rng, data, code, flips, record,
+                                       scratch);
+      } else {
+        fault::inject_data_flips(trial_rng, data, flips, record, scratch);
+      }
 
-      // Which blocks received at least one flip.
-      std::fill(block_touched.begin(), block_touched.end(), 0);
+      // Which blocks received at least one flip (sorted unique flat ids).
+      touched.clear();
       for (const fault::DataFlip& f : record.data_flips) {
-        const ecc::BlockIndex b = code.block_of(f.r, f.c);
-        block_touched[b.block_row * bps + b.block_col] = 1;
+        touched.push_back((f.r / mm) * bps + f.c / mm);
       }
       for (const fault::CheckFlip& f : record.check_flips) {
-        block_touched[f.block_row * bps + f.block_col] = 1;
+        touched.push_back(f.block_row * bps + f.block_col);
       }
-      for (const char touched : block_touched) {
-        if (touched) ++out.blocks_with_errors;
-      }
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+      out.blocks_with_errors += touched.size();
 
-      // Whole-array check via the word-parallel batch band path (one pass
-      // per block band; see ArrayCode::scrub) -- the dominant per-trial cost.
-      const ecc::ScrubReport scrub = code.scrub(data);
-      out.corrected_data += scrub.corrected_data;
-      out.corrected_check += scrub.corrected_check;
-      out.detected_uncorrectable += scrub.uncorrectable;
-
-      // Failure accounting: any data bit still wrong after repair.  The
-      // band accumulator ORs the row-XOR of each row in a block band; a
-      // block failed iff the accumulator intersects its column mask.
       std::size_t failed_blocks_this_trial = 0;
-      for (std::size_t br = 0; br < bps; ++br) {
-        band_acc.fill(false);
-        for (std::size_t r = br * config.m; r < (br + 1) * config.m; ++r) {
-          diff = data.row(r);
-          diff ^= golden.row(r);
-          band_acc |= diff;
+      for (const std::size_t flat : touched) {
+        const ecc::BlockIndex b{flat / bps, flat % bps};
+        const ecc::BlockRepair repair = code.scrub_block(data, b);
+        switch (repair.status) {
+          case ecc::DecodeStatus::kClean: break;
+          case ecc::DecodeStatus::kCorrectedData: ++out.corrected_data; break;
+          case ecc::DecodeStatus::kCorrectedCheck: ++out.corrected_check; break;
+          case ecc::DecodeStatus::kDetectedUncorrectable:
+            ++out.detected_uncorrectable;
+            break;
         }
-        if (band_acc.none()) continue;
-        for (std::size_t bc = 0; bc < bps; ++bc) {
-          if (band_acc.intersects(block_masks[bc])) ++failed_blocks_this_trial;
+
+        // Exact residual: every data flip this trial put into block b, plus
+        // the repair's own flip if it corrected a data bit.  Cells listed
+        // twice cancelled out (the repair undid an injected flip); cells
+        // listed once are still wrong.
+        residual.clear();
+        for (const fault::DataFlip& f : record.data_flips) {
+          if (f.r / mm == b.block_row && f.c / mm == b.block_col) {
+            residual.emplace_back(f.r, f.c);
+          }
+        }
+        if (repair.status == ecc::DecodeStatus::kCorrectedData) {
+          residual.emplace_back(repair.data_r, repair.data_c);
+        }
+        std::sort(residual.begin(), residual.end());
+        std::size_t survivors = 0;
+        for (std::size_t i = 0; i < residual.size();) {
+          if (i + 1 < residual.size() && residual[i] == residual[i + 1]) {
+            i += 2;  // injected and repaired: already back at golden
+            continue;
+          }
+          ++survivors;
+          data.flip(residual[i].first, residual[i].second);  // rollback
+          ++i;
+        }
+        if (survivors > 0) {
+          ++failed_blocks_this_trial;
+          // Exact miscorrection verdict: this block's scrub claimed a data
+          // correction, yet the block did not return to golden.
+          if (repair.status == ecc::DecodeStatus::kCorrectedData) {
+            ++out.miscorrected;
+          }
+        }
+
+        // Roll back a check-bit repair (it flipped exactly one stored bit).
+        if (repair.status == ecc::DecodeStatus::kCorrectedCheck) {
+          ecc::CheckBits& bits = code.check_bits_mutable(b);
+          if (repair.check_on_leading_axis) {
+            bits.leading.flip(repair.check_index);
+          } else {
+            bits.counter.flip(repair.check_index);
+          }
         }
       }
+
+      // Roll back the injected check flips; combined with the per-block
+      // repair rollbacks above, every check bit has now been flipped an
+      // even number of times and the stored state equals golden again.
+      for (const fault::CheckFlip& f : record.check_flips) {
+        ecc::CheckBits& bits = code.check_bits_mutable({f.block_row, f.block_col});
+        if (f.on_leading_axis) {
+          bits.leading.flip(f.index);
+        } else {
+          bits.counter.flip(f.index);
+        }
+      }
+
       out.blocks_failed += failed_blocks_this_trial;
       if (failed_blocks_this_trial > 0) ++out.trials_failed;
-      // Miscorrection: a "correction" happened but the block is still bad, or
-      // data changed away from golden where no flip landed -- approximated as
-      // failed blocks that reported a data correction.
-      if (failed_blocks_this_trial > 0 && scrub.corrected_data > 0) {
-        out.miscorrected += failed_blocks_this_trial;
-      }
     }
   };
 
-  std::size_t n_threads =
-      config.threads != 0
-          ? config.threads
-          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  n_threads = std::min<std::size_t>(n_threads, std::max<std::size_t>(config.trials, 1));
-
-  if (n_threads <= 1) {
-    run_range(0, config.trials, result);
-    return result;
+  for (const MonteCarloResult& partial : detail::run_partitioned<MonteCarloResult>(
+           config.trials, config.threads, run_range)) {
+    accumulate(result, partial);
   }
-
-  std::vector<MonteCarloResult> partials(n_threads);
-  // An exception escaping a std::thread body calls std::terminate; capture
-  // per worker and rethrow after the join so errors surface to the caller
-  // exactly as they do on the single-threaded path.
-  std::vector<std::exception_ptr> errors(n_threads);
-  std::vector<std::thread> workers;
-  workers.reserve(n_threads);
-  for (std::size_t i = 0; i < n_threads; ++i) {
-    const std::size_t first = config.trials * i / n_threads;
-    const std::size_t last = config.trials * (i + 1) / n_threads;
-    workers.emplace_back([&run_range, &partials, &errors, i, first, last] {
-      try {
-        run_range(first, last, partials[i]);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
-  for (const MonteCarloResult& partial : partials) accumulate(result, partial);
   return result;
 }
 

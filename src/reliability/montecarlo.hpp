@@ -16,6 +16,23 @@
 // by the same single draw.  (Across standard libraries the stream differs:
 // Rng::binomial delegates to std::binomial_distribution, whose algorithm
 // is implementation-defined.)
+//
+// The engine is sparse and event-driven: per-trial cost scales with the
+// number of injected flips, not with n^2.  Each worker keeps ONE mutable
+// image that always equals the golden state between trials; a trial
+// injects its flips, repairs only the touched blocks
+// (ArrayCode::scrub_block -- scrub_band generalized to block granularity),
+// computes each touched block's exact residual from the injection record
+// plus the reported repair, and then rolls everything back through an undo
+// log (re-flip the surviving deltas and the recorded check-bit flips).
+// There is no per-trial golden copy and no full-array scrub.  The dense
+// engine is retained as reference_run_montecarlo
+// (reference_reliability.hpp); every counter is pinned equal on every
+// substream except `miscorrected`, which is exact here (a block is
+// miscorrected iff its own scrub reported a data correction and its
+// residual is nonzero) and approximated in the reference (every failed
+// block of a trial with >= 1 data correction) -- exact <= approximated,
+// always.
 #pragma once
 
 #include <cstddef>
@@ -48,7 +65,10 @@ struct MonteCarloResult {
   std::uint64_t corrected_data = 0;
   std::uint64_t corrected_check = 0;
   std::uint64_t detected_uncorrectable = 0;
-  std::uint64_t miscorrected = 0;          ///< correction applied, data still wrong
+  /// Blocks whose scrub reported a data correction yet whose post-repair
+  /// data still differs from golden (exact, per-block residual accounting;
+  /// the reference engine over-approximates this -- see the file comment).
+  std::uint64_t miscorrected = 0;
 
   [[nodiscard]] double crossbar_failure_rate() const noexcept {
     return trials > 0 ? static_cast<double>(trials_failed) /
@@ -61,11 +81,11 @@ struct MonteCarloResult {
 };
 
 /// Runs the experiment: per trial, sample a binomial flip count over all
-/// vulnerable cells, inject, scrub once, and compare the repaired data
-/// against the pre-fault golden image (row-XOR against per-block column
-/// masks; no per-bit scanning).  Draws exactly one value from `rng` and
-/// derives all per-trial randomness from it; see the file comment for the
-/// determinism guarantees.
+/// vulnerable cells, inject, repair the touched blocks only, diff each
+/// touched block's residual exactly, and roll back to golden in O(flips).
+/// Draws exactly one value from `rng` and derives all per-trial randomness
+/// from it; see the file comment for the determinism guarantees and the
+/// reference-engine pinning contract.
 [[nodiscard]] MonteCarloResult run_montecarlo(const MonteCarloConfig& config,
                                               util::Rng& rng);
 

@@ -1,0 +1,59 @@
+// pimecc -- reliability/parallel.hpp
+//
+// Shared trial-pool scaffolding for the reliability engines: contiguous
+// deterministic partition of [0, trials) over a std::thread pool, with
+// per-worker exception capture rethrown after the join (an exception
+// escaping a std::thread body would call std::terminate).  Because every
+// engine derives each trial's randomness from its own substream, the
+// partition cannot affect any sampled value -- only how work is spread.
+// (reference_reliability.cpp keeps its own frozen copy by design.)
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace pimecc::rel::detail {
+
+/// Runs `fn(first, last, partial)` over a deterministic contiguous
+/// partition of [0, trials) with `threads` workers (0 = hardware
+/// concurrency, capped by the trial count) and returns one `Partial` per
+/// worker, in worker order.  The caller merges them; for commutative
+/// integer sums the merge is thread-count invariant.
+template <typename Partial, typename Fn>
+std::vector<Partial> run_partitioned(std::size_t trials, std::size_t threads,
+                                     Fn&& fn) {
+  std::size_t n_threads =
+      threads != 0 ? threads
+                   : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  n_threads = std::min<std::size_t>(n_threads, std::max<std::size_t>(trials, 1));
+
+  std::vector<Partial> partials(n_threads);
+  if (n_threads <= 1) {
+    fn(std::size_t{0}, trials, partials[0]);
+    return partials;
+  }
+  std::vector<std::exception_ptr> errors(n_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    const std::size_t first = trials * i / n_threads;
+    const std::size_t last = trials * (i + 1) / n_threads;
+    workers.emplace_back([&fn, &partials, &errors, i, first, last] {
+      try {
+        fn(first, last, partials[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return partials;
+}
+
+}  // namespace pimecc::rel::detail

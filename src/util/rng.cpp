@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/bitmatrix.hpp"
 #include "util/bitvector.hpp"
@@ -118,6 +119,19 @@ std::uint64_t Rng::binomial(std::uint64_t n, double p) {
   if (p == 1.0) return n;
   std::binomial_distribution<std::uint64_t> dist(n, p);
   return dist(*this);
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return ~std::uint64_t{0};
+  // Inversion of the survival function: G = floor(ln U / ln(1-p)) with
+  // U in (0, 1]; uniform01() is [0, 1), so flip it.
+  const double u = 1.0 - uniform01();
+  const double g = std::floor(std::log(u) / std::log1p(-p));
+  // NaN (0/0 for u == 1... cannot happen; guard anyway) and values at or
+  // beyond 2^64 saturate.
+  if (!(g < 18446744073709551615.0)) return ~std::uint64_t{0};
+  return g <= 0.0 ? 0 : static_cast<std::uint64_t>(g);
 }
 
 std::uint64_t Rng::poisson(double mean) {

@@ -55,6 +55,15 @@ class Rng {
   /// Delegates to std::binomial_distribution (exact).
   [[nodiscard]] std::uint64_t binomial(std::uint64_t n, double p);
 
+  /// Geometric sample: number of failures before the first success in iid
+  /// Bernoulli(p) trials (support {0, 1, ...}), by inversion -- exactly one
+  /// next() draw.  The skip-ahead lifetime engine uses this to jump directly
+  /// to the next non-empty scrub window.  p >= 1 returns 0; p <= 0 (success
+  /// impossible) returns the max std::uint64_t, which callers must treat as
+  /// "beyond any horizon"; results too large to represent saturate the same
+  /// way.
+  [[nodiscard]] std::uint64_t geometric(double p) noexcept;
+
   /// Poisson sample with the given mean.
   [[nodiscard]] std::uint64_t poisson(double mean);
 

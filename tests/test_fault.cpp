@@ -1,9 +1,14 @@
-// Unit tests for src/fault: soft-error models and the fault injector.
+// Unit tests for src/fault: soft-error models, the fault injector (incl.
+// the allocation-free sampling core, record/undo round-trips, and
+// validate-before-mutate), and burst injection.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_set>
+#include <vector>
 
 #include "core/array_code.hpp"
+#include "fault/burst.hpp"
 #include "fault/injector.hpp"
 #include "fault/models.hpp"
 #include "util/bitmatrix.hpp"
@@ -163,6 +168,221 @@ TEST(Injector, DeterministicGivenSeed) {
   inject_data_flips(rng_a, a, 7);
   inject_data_flips(rng_b, b, 7);
   EXPECT_EQ(a, b);
+}
+
+// -------------------------------------------------------- sample_distinct
+
+TEST(SampleDistinct, MatchesHashSetOracleAndStaysSorted) {
+  // The sorted-vector Floyd implementation must reproduce the historical
+  // hash-set algorithm exactly (same rng consumption, same sampled set) so
+  // existing seeds keep producing the same injection records.
+  std::vector<std::size_t> out;
+  for (const auto& [population, count] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {10, 0}, {10, 1}, {10, 10}, {97, 13}, {1000, 40}, {64, 63}}) {
+    util::Rng rng(population * 1000 + count), oracle_rng(population * 1000 + count);
+    sample_distinct(rng, population, count, out);
+    // Oracle: the original hash-set Floyd loop.
+    std::unordered_set<std::size_t> chosen;
+    for (std::size_t j = population - count; j < population; ++j) {
+      const auto t = static_cast<std::size_t>(oracle_rng.uniform_below(j + 1));
+      if (!chosen.insert(t).second) chosen.insert(j);
+    }
+    ASSERT_EQ(out.size(), count);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    EXPECT_EQ(std::set<std::size_t>(out.begin(), out.end()),
+              std::set<std::size_t>(chosen.begin(), chosen.end()));
+    EXPECT_EQ(rng.next(), oracle_rng.next());  // identical consumption
+  }
+}
+
+TEST(SampleDistinct, CountExceedingPopulationThrowsBeforeDrawing) {
+  std::vector<std::size_t> out{1, 2, 3};
+  util::Rng rng(1), fresh(1);
+  EXPECT_THROW(sample_distinct(rng, 3, 4, out), std::invalid_argument);
+  EXPECT_EQ(rng.next(), fresh.next());
+}
+
+// ----------------------------------------------------------------- undo
+
+TEST(Injector, UndoRestoresDataAndCheckStateExactly) {
+  util::Rng rng(21);
+  const std::size_t n = 25, m = 5;
+  util::BitMatrix data = util::random_bit_matrix(n, n, rng);
+  ecc::ArrayCode code(n, m);
+  code.encode_all(data);
+  const util::BitMatrix golden = data;
+  const ecc::ArrayCode golden_code = code;
+  for (const std::size_t count : {1u, 3u, 17u, 120u}) {
+    const InjectionRecord record =
+        inject_flips_everywhere(rng, data, code, count);
+    EXPECT_EQ(record.total(), count);
+    EXPECT_FALSE(data == golden && code.consistent_with(golden));
+    undo(record, data, code);
+    EXPECT_EQ(data, golden);
+    for (std::size_t br = 0; br < n / m; ++br) {
+      for (std::size_t bc = 0; bc < n / m; ++bc) {
+        EXPECT_EQ(code.check_bits({br, bc}), golden_code.check_bits({br, bc}));
+      }
+    }
+  }
+}
+
+TEST(Injector, DataOnlyUndoRoundTripsAndRejectsCheckFlips) {
+  util::Rng rng(22);
+  util::BitMatrix data = util::random_bit_matrix(12, 12, rng);
+  const util::BitMatrix golden = data;
+  const InjectionRecord record = inject_data_flips(rng, data, 9);
+  undo(record, data);
+  EXPECT_EQ(data, golden);
+
+  ecc::ArrayCode code(15, 5);
+  util::BitMatrix coded(15, 15);
+  code.encode_all(coded);
+  const InjectionRecord with_checks =
+      inject_block_flips(rng, coded, code, 0, 0, 30, true);
+  EXPECT_FALSE(with_checks.check_flips.empty());
+  EXPECT_THROW(undo(with_checks, coded), std::invalid_argument);
+  undo(with_checks, coded, code);  // full undo still works
+  EXPECT_EQ(coded.count(), 0u);
+}
+
+TEST(Injector, UndoValidatesRecordBeforeMutating) {
+  util::BitMatrix data(10, 10);
+  ecc::ArrayCode code(10, 5);
+  InjectionRecord bad;
+  bad.data_flips.push_back({0, 0});
+  bad.data_flips.push_back({99, 0});  // out of range, listed second
+  EXPECT_THROW(undo(bad, data), std::out_of_range);
+  EXPECT_EQ(data.count(), 0u);  // the in-range flip must NOT have landed
+  InjectionRecord bad_check;
+  bad_check.check_flips.push_back({5, 0, true, 0});
+  EXPECT_THROW(undo(bad_check, data, code), std::out_of_range);
+  InjectionRecord bad_index;
+  bad_index.check_flips.push_back({0, 0, false, 7});  // index >= m
+  EXPECT_THROW(undo(bad_index, data, code), std::out_of_range);
+}
+
+// ------------------------------------------- inject_block_flips hardening
+
+TEST(Injector, BlockInjectionValidatesBeforeMutating) {
+  util::Rng rng(23), fresh(23);
+  util::BitMatrix data(15, 15);
+  ecc::ArrayCode code(15, 5);
+  code.encode_all(data);
+  EXPECT_THROW(inject_block_flips(rng, data, code, 3, 0, 2, true),
+               std::out_of_range);
+  EXPECT_THROW(inject_block_flips(rng, data, code, 0, 3, 2, true),
+               std::out_of_range);
+  util::BitMatrix wrong(10, 10);
+  EXPECT_THROW(inject_block_flips(rng, wrong, code, 0, 0, 2, true),
+               std::invalid_argument);
+  EXPECT_EQ(data.count(), 0u);            // nothing mutated
+  EXPECT_TRUE(code.consistent_with(data));
+  EXPECT_EQ(rng.next(), fresh.next());    // nothing drawn either
+}
+
+TEST(Injector, BlockInjectionBoundaryBlockStaysInside) {
+  util::Rng rng(24);
+  const std::size_t n = 15, m = 5;
+  util::BitMatrix data(n, n);
+  ecc::ArrayCode code(n, m);
+  code.encode_all(data);
+  const InjectionRecord record =
+      inject_block_flips(rng, data, code, 2, 2, 25, false);  // last block, full
+  EXPECT_EQ(record.data_flips.size(), 25u);
+  for (const DataFlip& f : record.data_flips) {
+    EXPECT_GE(f.r, 10u);
+    EXPECT_LT(f.r, 15u);
+    EXPECT_GE(f.c, 10u);
+    EXPECT_LT(f.c, 15u);
+  }
+}
+
+TEST(Injector, BlockInjectionCheckSlotAddressing) {
+  // Request the full population of one block with check bits: slots
+  // [0, m) must land on the leading axis, [m, 2m) on the counter axis,
+  // each index exactly once, and every recorded flip must be observable in
+  // the stored check bits (all-zero data keeps golden parities at zero).
+  util::Rng rng(25);
+  const std::size_t n = 15, m = 5;
+  util::BitMatrix data(n, n);
+  ecc::ArrayCode code(n, m);
+  code.encode_all(data);
+  const InjectionRecord record =
+      inject_block_flips(rng, data, code, 1, 2, m * m + 2 * m, true);
+  ASSERT_EQ(record.check_flips.size(), 2 * m);
+  std::set<std::size_t> leading, counter;
+  for (const CheckFlip& f : record.check_flips) {
+    EXPECT_EQ(f.block_row, 1u);
+    EXPECT_EQ(f.block_col, 2u);
+    ASSERT_LT(f.index, m);
+    (f.on_leading_axis ? leading : counter).insert(f.index);
+  }
+  EXPECT_EQ(leading.size(), m);  // every leading diagonal exactly once
+  EXPECT_EQ(counter.size(), m);  // every counter diagonal exactly once
+  const ecc::CheckBits& bits = code.check_bits({1, 2});
+  EXPECT_EQ(bits.leading.count(), m);  // all flipped away from zero
+  EXPECT_EQ(bits.counter.count(), m);
+}
+
+// ----------------------------------------------------------------- burst
+
+TEST(Burst, HorizontalVerticalAndSquareShapes) {
+  const auto horizontal = burst_cells(20, 20, 3, 5, 4, BurstShape::kHorizontal);
+  ASSERT_EQ(horizontal.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(horizontal[i].r, 3u);
+    EXPECT_EQ(horizontal[i].c, 5 + i);
+  }
+  const auto vertical = burst_cells(20, 20, 3, 5, 4, BurstShape::kVertical);
+  ASSERT_EQ(vertical.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(vertical[i].r, 3 + i);
+    EXPECT_EQ(vertical[i].c, 5u);
+  }
+  // length 5 -> 3x3 patch truncated to the first 5 cells in row-major order.
+  const auto square = burst_cells(20, 20, 3, 5, 5, BurstShape::kSquare);
+  ASSERT_EQ(square.size(), 5u);
+  EXPECT_EQ(square[0].r, 3u);
+  EXPECT_EQ(square[0].c, 5u);
+  EXPECT_EQ(square[2].c, 7u);  // third cell of the first patch row
+  EXPECT_EQ(square[3].r, 4u);  // wraps to the second patch row
+  EXPECT_EQ(square[3].c, 5u);
+}
+
+TEST(Burst, ClipsAtTheArrayEdge) {
+  EXPECT_EQ(burst_cells(8, 8, 0, 6, 5, BurstShape::kHorizontal).size(), 2u);
+  EXPECT_EQ(burst_cells(8, 8, 6, 0, 5, BurstShape::kVertical).size(), 2u);
+  // Square anchored in the corner: only the in-bounds cells survive.
+  const auto corner = burst_cells(8, 8, 7, 7, 9, BurstShape::kSquare);
+  ASSERT_EQ(corner.size(), 1u);
+  EXPECT_EQ(corner[0].r, 7u);
+  EXPECT_EQ(corner[0].c, 7u);
+}
+
+TEST(Burst, ValidatesLengthAndAnchor) {
+  EXPECT_THROW((void)burst_cells(8, 8, 0, 0, 0, BurstShape::kHorizontal),
+               std::invalid_argument);
+  EXPECT_THROW((void)burst_cells(8, 8, 8, 0, 1, BurstShape::kHorizontal),
+               std::out_of_range);
+  EXPECT_THROW((void)burst_cells(8, 8, 0, 8, 1, BurstShape::kVertical),
+               std::out_of_range);
+}
+
+TEST(Burst, InjectBurstIsDeterministicAndUndoable) {
+  util::BitMatrix a(16, 16), b(16, 16);
+  util::Rng rng_a(42), rng_b(42);
+  const auto cells_a = inject_burst(rng_a, a, 6, BurstShape::kSquare);
+  const auto cells_b = inject_burst(rng_b, b, 6, BurstShape::kSquare);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(cells_a.size(), cells_b.size());
+  EXPECT_EQ(a.count(), cells_a.size());
+  // Burst cell lists ride the same record machinery: wrap + undo.
+  InjectionRecord record;
+  record.data_flips = cells_a;
+  undo(record, a);
+  EXPECT_EQ(a.count(), 0u);
 }
 
 }  // namespace

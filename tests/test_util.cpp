@@ -353,6 +353,30 @@ TEST(Rng, PoissonZeroMean) {
   EXPECT_EQ(rng.poisson(-2.0), 0u);
 }
 
+TEST(Rng, GeometricEdgesAndSentinel) {
+  Rng rng(11);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+  EXPECT_EQ(rng.geometric(1.5), 0u);
+  // Success impossible: the saturating "beyond any horizon" sentinel.
+  EXPECT_EQ(rng.geometric(0.0), ~std::uint64_t{0});
+  EXPECT_EQ(rng.geometric(-0.5), ~std::uint64_t{0});
+  // Vanishing success probability saturates rather than overflowing.
+  EXPECT_EQ(rng.geometric(1e-300), ~std::uint64_t{0});
+}
+
+TEST(Rng, GeometricIsDeterministicAndMatchesItsMean) {
+  Rng a(12), b(12);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.geometric(0.3), b.geometric(0.3));
+  // E[G] = (1-p)/p = 3 at p = 0.25.
+  Rng rng(13);
+  double total = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(rng.geometric(0.25));
+  }
+  EXPECT_NEAR(total / trials, 3.0, 0.1);
+}
+
 TEST(Rng, JumpIsDeterministicAndDiverges) {
   Rng a(42), b(42);
   a.jump();

@@ -64,4 +64,17 @@ else
   echo "==== bench_arch_throughput not built; skipping smoke bench ===="
 fi
 
+# And the reliability layer: the smoke configuration runs the sparse-vs-dense
+# Monte Carlo counter-equality check and the lifetime distribution gates
+# (zero-rate scrub accounting, matched failure counts, analytic agreement)
+# and exits non-zero on any divergence.
+rel_bin="$release_dir/bench/bench_reliability_throughput"
+if [[ -n "$release_dir" && -x "$rel_bin" ]]; then
+  echo "==== [Release] bench_reliability_throughput (smoke) ===="
+  "$rel_bin" --smoke --out="$release_dir/BENCH_reliability.json"
+  echo "archived $release_dir/BENCH_reliability.json"
+else
+  echo "==== bench_reliability_throughput not built; skipping smoke bench ===="
+fi
+
 echo "==== CI gate passed (Debug + Release) ===="
