@@ -10,13 +10,21 @@
 //   3. syndrome: per-block compute_syndrome across every block, fast
 //      BlockCodec vs ReferenceBlockCodec.
 //
-// Grid: n in {256, 512, 1024} x m in {3, 5, 7, 9, 31}; n is rounded down to
-// the nearest multiple of m (n_eff) since the array code requires m | n.
-// Every timed configuration is first cross-checked: the fast engine's check
-// bits and scrub report must equal the reference's, or the run fails.
+// Grid: n in {256, 512, 1024} x m in {3, 5, 7, 9, 31, 63}; n is rounded down
+// to the nearest multiple of m (n_eff) since the array code requires m | n.
+// m = 63 exercises the single-word fast path in the SIMD kernels, and its
+// n_eff values (252, 504, 1008) keep a non-multiple-of-64 row width in the
+// grid so the tail-word masking stays covered.  Every timed configuration is
+// first cross-checked at EVERY runtime dispatch level (scalar, AVX2, ...):
+// the fast engine's check bits and scrub report must equal the bit-serial
+// reference's, or the run exits non-zero.
+//
+// Each metric reports three engines: the bit-serial reference, the scalar
+// word-parallel kernels, and the widest SIMD kernel level the CPU offers
+// (the two coincide on scalar-only hardware or under PIMECC_FORCE_SCALAR).
 //
 // Usage: bench_codec_throughput [--smoke] [--out=PATH]
-//   --smoke    fast CI configuration (n = 256, m in {3, 31})
+//   --smoke    fast CI configuration (n = 256, m in {3, 31, 63})
 //   --out=PATH where to write the JSON (default: BENCH_codec.json in cwd)
 #include <chrono>
 #include <cstdint>
@@ -31,6 +39,7 @@
 #include "core/reference_block_code.hpp"
 #include "util/bitmatrix.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -73,8 +82,14 @@ double measure_cells_per_sec(std::size_t n_eff, double min_seconds, Pass&& pass)
 
 struct MetricResult {
   double ref_cells_per_sec = 0.0;
-  double fast_cells_per_sec = 0.0;
-  [[nodiscard]] double speedup() const { return fast_cells_per_sec / ref_cells_per_sec; }
+  double scalar_cells_per_sec = 0.0;
+  double simd_cells_per_sec = 0.0;
+  /// Headline speedup: widest SIMD level vs the bit-serial reference.
+  [[nodiscard]] double speedup() const { return simd_cells_per_sec / ref_cells_per_sec; }
+  /// Vectorization gain alone: SIMD kernels vs the scalar word-parallel ones.
+  [[nodiscard]] double simd_vs_scalar() const {
+    return simd_cells_per_sec / scalar_cells_per_sec;
+  }
 };
 
 struct ConfigResult {
@@ -107,9 +122,19 @@ int main(int argc, char** argv) {
 
   const std::vector<std::size_t> ns =
       smoke ? std::vector<std::size_t>{256} : std::vector<std::size_t>{256, 512, 1024};
+  // m = 63 must stay in the smoke grid: it is the configuration that drives
+  // the kernels' single-word (m >= 63) path and a row width with
+  // n_eff mod 64 != 0, so CI exercises both edge paths on every run.
   const std::vector<std::size_t> ms =
-      smoke ? std::vector<std::size_t>{3, 31} : std::vector<std::size_t>{3, 5, 7, 9, 31};
+      smoke ? std::vector<std::size_t>{3, 31, 63}
+            : std::vector<std::size_t>{3, 5, 7, 9, 31, 63};
   const double min_seconds = smoke ? 0.02 : 0.2;
+
+  namespace simd = util::simd;
+  // The level the process dispatched to at startup (the widest the CPU
+  // offers, unless PIMECC_FORCE_SCALAR pinned it down).
+  const simd::Level native_level = simd::active_level();
+  const std::vector<simd::Level> levels = simd::available_levels();
 
   bool differential_ok = true;
   std::vector<ConfigResult> results;
@@ -124,23 +149,36 @@ int main(int argc, char** argv) {
       const ReferenceBlockCodec ref(m);
       std::vector<CheckBits> ref_stored(bps * bps, CheckBits(m));
 
-      // Cross-check before timing: fast and reference encodes must agree,
-      // and a clean scrub must report every block clean on both engines.
-      code.encode_all(data);
-      for (std::size_t br = 0; br < bps && differential_ok; ++br) {
+      // Cross-check before timing, at every dispatch level the CPU offers:
+      // the fast engine's check bits must agree with the bit-serial
+      // reference's, and a clean scrub must report every block clean.
+      for (std::size_t br = 0; br < bps; ++br) {
         for (std::size_t bc = 0; bc < bps; ++bc) {
           ref_stored[br * bps + bc] = ref.encode(data, br * m, bc * m);
-          if (!(ref_stored[br * bps + bc] == code.check_bits({br, bc}))) {
-            differential_ok = false;
-            break;
-          }
         }
       }
-      const ScrubReport fast_clean = code.scrub(data);
       const ScrubReport ref_clean = reference_scrub(ref, data, ref_stored, bps);
-      if (!(fast_clean == ref_clean) || fast_clean.clean != bps * bps) {
-        differential_ok = false;
+      for (const simd::Level level : levels) {
+        simd::set_level(level);
+        code.encode_all(data);
+        for (std::size_t br = 0; br < bps && differential_ok; ++br) {
+          for (std::size_t bc = 0; bc < bps; ++bc) {
+            if (!(ref_stored[br * bps + bc] == code.check_bits({br, bc}))) {
+              std::cerr << "encode mismatch at level " << simd::to_string(level)
+                        << " n_eff=" << n_eff << " m=" << m << "\n";
+              differential_ok = false;
+              break;
+            }
+          }
+        }
+        const ScrubReport fast_clean = code.scrub(data);
+        if (!(fast_clean == ref_clean) || fast_clean.clean != bps * bps) {
+          std::cerr << "scrub mismatch at level " << simd::to_string(level)
+                    << " n_eff=" << n_eff << " m=" << m << "\n";
+          differential_ok = false;
+        }
       }
+      simd::set_level(native_level);
 
       ConfigResult r;
       r.n = n;
@@ -154,14 +192,10 @@ int main(int argc, char** argv) {
           }
         }
       });
-      r.encode.fast_cells_per_sec = measure_cells_per_sec(
-          n_eff, min_seconds, [&] { code.encode_all(data); });
 
       r.scrub.ref_cells_per_sec = measure_cells_per_sec(n_eff, min_seconds, [&] {
         (void)reference_scrub(ref, data, ref_stored, bps);
       });
-      r.scrub.fast_cells_per_sec = measure_cells_per_sec(
-          n_eff, min_seconds, [&] { (void)code.scrub(data); });
 
       const ecc::BlockCodec& fast_codec = code.codec();
       r.syndrome.ref_cells_per_sec = measure_cells_per_sec(n_eff, min_seconds, [&] {
@@ -172,7 +206,17 @@ int main(int argc, char** argv) {
           }
         }
       });
-      r.syndrome.fast_cells_per_sec = measure_cells_per_sec(n_eff, min_seconds, [&] {
+
+      // Time the word-parallel engine twice: once pinned to the scalar
+      // kernel table, once at the widest SIMD level.  The engines route
+      // every hot loop through util::simd::kernels(), so set_level swaps
+      // the machinery under the same ArrayCode object.
+      simd::set_level(simd::Level::kScalar);
+      r.encode.scalar_cells_per_sec = measure_cells_per_sec(
+          n_eff, min_seconds, [&] { code.encode_all(data); });
+      r.scrub.scalar_cells_per_sec = measure_cells_per_sec(
+          n_eff, min_seconds, [&] { (void)code.scrub(data); });
+      r.syndrome.scalar_cells_per_sec = measure_cells_per_sec(n_eff, min_seconds, [&] {
         for (std::size_t br = 0; br < bps; ++br) {
           for (std::size_t bc = 0; bc < bps; ++bc) {
             (void)fast_codec.compute_syndrome(data, br * m, bc * m,
@@ -181,12 +225,36 @@ int main(int argc, char** argv) {
         }
       });
 
+      simd::set_level(native_level);
+      if (native_level == simd::Level::kScalar) {
+        r.encode.simd_cells_per_sec = r.encode.scalar_cells_per_sec;
+        r.scrub.simd_cells_per_sec = r.scrub.scalar_cells_per_sec;
+        r.syndrome.simd_cells_per_sec = r.syndrome.scalar_cells_per_sec;
+      } else {
+        r.encode.simd_cells_per_sec = measure_cells_per_sec(
+            n_eff, min_seconds, [&] { code.encode_all(data); });
+        r.scrub.simd_cells_per_sec = measure_cells_per_sec(
+            n_eff, min_seconds, [&] { (void)code.scrub(data); });
+        r.syndrome.simd_cells_per_sec = measure_cells_per_sec(n_eff, min_seconds, [&] {
+          for (std::size_t br = 0; br < bps; ++br) {
+            for (std::size_t bc = 0; bc < bps; ++bc) {
+              (void)fast_codec.compute_syndrome(data, br * m, bc * m,
+                                                code.check_bits({br, bc}));
+            }
+          }
+        });
+      }
+
       results.push_back(r);
       std::cout << "n=" << n_eff << " m=" << m << ": encode_all "
                 << fmt(r.encode.speedup()) << "x, scrub " << fmt(r.scrub.speedup())
                 << "x, syndrome " << fmt(r.syndrome.speedup())
-                << "x (fast encode " << fmt(r.encode.fast_cells_per_sec / 1e6)
-                << " Mcells/s)\n";
+                << "x vs reference; simd-vs-scalar encode "
+                << fmt(r.encode.simd_vs_scalar()) << "x, scrub "
+                << fmt(r.scrub.simd_vs_scalar()) << "x, syndrome "
+                << fmt(r.syndrome.simd_vs_scalar()) << "x ("
+                << simd::to_string(native_level) << " encode "
+                << fmt(r.encode.simd_cells_per_sec / 1e6) << " Mcells/s)\n";
     }
   }
   std::cout << "differential cross-check: "
@@ -199,17 +267,26 @@ int main(int argc, char** argv) {
     return 1;
   }
   json << "{\n"
-       << "  \"schema\": \"pimecc-bench-codec/1\",\n"
+       << "  \"schema\": \"pimecc-bench-codec/2\",\n"
        << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"simd_level\": \"" << simd::to_string(native_level) << "\",\n"
+       << "  \"dispatch_levels_checked\": [";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    json << "\"" << simd::to_string(levels[i]) << "\""
+         << (i + 1 < levels.size() ? ", " : "");
+  }
+  json << "],\n"
        << "  \"differential_ok\": " << (differential_ok ? "true" : "false") << ",\n"
        << "  \"configs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
     auto metric = [&](const char* name, const MetricResult& mr, bool last) {
       json << "      \"" << name << "\": {\"reference_cells_per_sec\": "
-           << fmt(mr.ref_cells_per_sec) << ", \"word_parallel_cells_per_sec\": "
-           << fmt(mr.fast_cells_per_sec) << ", \"speedup\": "
-           << fmt(mr.speedup()) << "}" << (last ? "" : ",") << "\n";
+           << fmt(mr.ref_cells_per_sec) << ", \"scalar_cells_per_sec\": "
+           << fmt(mr.scalar_cells_per_sec) << ", \"simd_cells_per_sec\": "
+           << fmt(mr.simd_cells_per_sec) << ", \"speedup\": "
+           << fmt(mr.speedup()) << ", \"simd_vs_scalar\": "
+           << fmt(mr.simd_vs_scalar()) << "}" << (last ? "" : ",") << "\n";
     };
     json << "    {\n"
          << "      \"n\": " << r.n << ", \"n_eff\": " << r.n_eff
@@ -223,7 +300,11 @@ int main(int argc, char** argv) {
        << "  \"largest_config\": {\"n_eff\": " << largest.n_eff << ", \"m\": "
        << largest.m << ", \"encode_all_speedup\": " << fmt(largest.encode.speedup())
        << ", \"scrub_speedup\": " << fmt(largest.scrub.speedup())
-       << ", \"syndrome_speedup\": " << fmt(largest.syndrome.speedup()) << "}\n"
+       << ", \"syndrome_speedup\": " << fmt(largest.syndrome.speedup())
+       << ", \"encode_all_simd_vs_scalar\": " << fmt(largest.encode.simd_vs_scalar())
+       << ", \"scrub_simd_vs_scalar\": " << fmt(largest.scrub.simd_vs_scalar())
+       << ", \"syndrome_simd_vs_scalar\": " << fmt(largest.syndrome.simd_vs_scalar())
+       << "}\n"
        << "}\n";
   std::cout << "wrote " << out_path << "\n";
   return differential_ok ? 0 : 1;

@@ -4,14 +4,25 @@
 // from PR 2 onward.
 //
 //   1. Crossbar MAGIC NOR, all lanes, both orientations: init+NOR pairs on
-//      an n x n array, word-parallel Crossbar vs bit-serial
-//      ReferenceCrossbar, reported as lanes/second and speedup.
+//      an n x n array, bit-serial ReferenceCrossbar vs the word-parallel
+//      engine pinned to its scalar kernels vs the widest SIMD dispatch
+//      level, reported as lanes/second and speedups.  Two array sizes per
+//      mode, one of them with n mod 64 != 0 so the tail-word masking path
+//      is always timed and cross-checked.  Row-orientation NOR stays scalar
+//      at every dispatch level (its lanes are scattered single-word
+//      accesses, nothing contiguous to vectorize), so its scalar and SIMD
+//      columns coincide by design.
 //   2. Monte Carlo reliability: run_montecarlo trials/second across a
 //      thread-count sweep, with the determinism cross-check (results must
 //      be bit-identical for every thread count) recorded in the output.
 //
+// Before any timing, a deterministic random gate program is replayed on the
+// word-parallel crossbar at EVERY runtime dispatch level and compared
+// against the bit-serial reference (violations and final contents); any
+// divergence makes the run exit non-zero, same as the MC determinism gate.
+//
 // Usage: bench_engine_throughput [--smoke] [--out=PATH]
-//   --smoke    fast CI configuration (small array, few trials)
+//   --smoke    fast CI configuration (small arrays, few trials)
 //   --out=PATH where to write the JSON (default: BENCH_engine.json in cwd)
 #include <algorithm>
 #include <chrono>
@@ -25,6 +36,7 @@
 
 #include "reliability/montecarlo.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "xbar/crossbar.hpp"
 #include "xbar/reference_crossbar.hpp"
 
@@ -77,6 +89,58 @@ double measure_nor_lanes_per_sec(Xbar& xb, pimecc::xbar::Orientation o,
   return static_cast<double>(nors) * static_cast<double>(lanes) / elapsed;
 }
 
+/// Replays a deterministic random init+NOR program on the word-parallel
+/// crossbar at dispatch level `level` and on the bit-serial reference;
+/// returns false (after a diagnostic) on any violation-count or final
+/// contents divergence.
+bool crossbar_matches_reference(std::size_t n, pimecc::util::simd::Level level,
+                                std::size_t steps) {
+  namespace simd = pimecc::util::simd;
+  using pimecc::xbar::Orientation;
+  simd::set_level(level);
+  pimecc::util::Rng rng(0x5EED'0CB5ull ^ n);
+  pimecc::xbar::Crossbar fast(n, n);
+  pimecc::xbar::ReferenceCrossbar ref(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const bool v = rng.bernoulli(0.5);
+      fast.poke(r, c, v);
+      ref.poke(r, c, v);
+    }
+  }
+  for (std::size_t step = 0; step < steps; ++step) {
+    const Orientation o =
+        rng.bernoulli(0.5) ? Orientation::kRow : Orientation::kColumn;
+    const std::size_t out_line = rng.uniform_below(n);
+    std::vector<std::size_t> ins;
+    const std::size_t fan_in = 1 + rng.uniform_below(3);
+    for (std::size_t i = 0; i < fan_in; ++i) {
+      std::size_t line = rng.uniform_below(n);
+      if (line == out_line) line = (line + 1) % n;
+      bool dup = false;
+      for (const std::size_t seen : ins) dup |= seen == line;
+      if (!dup) ins.push_back(line);
+    }
+    const std::size_t out_arr[1] = {out_line};
+    fast.magic_init(o, out_arr);
+    ref.magic_init(o, out_arr);
+    const auto rf = fast.magic_nor(o, ins, out_line);
+    const auto rr = ref.magic_nor(o, ins, out_line);
+    if (rf.violations != rr.violations) {
+      std::cerr << "magic_nor violation mismatch at level "
+                << simd::to_string(level) << " n=" << n << " step=" << step
+                << "\n";
+      return false;
+    }
+  }
+  if (!(fast.contents() == ref.contents())) {
+    std::cerr << "crossbar contents mismatch at level " << simd::to_string(level)
+              << " n=" << n << "\n";
+    return false;
+  }
+  return true;
+}
+
 struct McPoint {
   std::size_t threads = 0;
   double seconds = 0.0;
@@ -110,48 +174,104 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::size_t n = smoke ? 256 : 1024;
+  // One power-of-two size and one with n mod 64 != 0, so the tail-word
+  // masking in the column-NOR kernel is always part of the timed (and
+  // cross-checked) surface.
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{250, 256}
+            : std::vector<std::size_t>{1000, 1024};
   const double min_seconds = smoke ? 0.02 : 0.25;
   const std::size_t batch = smoke ? 8 : 32;
+
+  namespace simd = util::simd;
+  const simd::Level native_level = simd::active_level();
+
+  // ------------------------------------------------- xbar cross-check gate
+  bool xbar_ok = true;
+  const std::size_t check_steps = smoke ? 48 : 96;
+  for (const std::size_t n : sizes) {
+    for (const simd::Level level : simd::available_levels()) {
+      xbar_ok = crossbar_matches_reference(n, level, check_steps) && xbar_ok;
+    }
+  }
+  simd::set_level(native_level);
 
   // ---------------------------------------------------------------- xbar
   struct OrientationResult {
     const char* name;
     double ref_nor_lanes_per_sec;
-    double fast_nor_lanes_per_sec;
+    double scalar_nor_lanes_per_sec;
+    double simd_nor_lanes_per_sec;
     double nor_speedup;
+    double nor_simd_vs_scalar;
     double ref_pair_lanes_per_sec;
-    double fast_pair_lanes_per_sec;
+    double scalar_pair_lanes_per_sec;
+    double simd_pair_lanes_per_sec;
     double pair_speedup;
+    double pair_simd_vs_scalar;
   };
-  std::vector<OrientationResult> xbar_results;
-  for (const Orientation o : {Orientation::kRow, Orientation::kColumn}) {
-    util::Rng rng(0xBE7C'11ull);
-    xbar::Crossbar fast(n, n);
-    randomize(fast, rng);
-    rng.reseed(0xBE7C'11ull);
-    xbar::ReferenceCrossbar ref(n, n);
-    randomize(ref, rng);
+  struct SizeResult {
+    std::size_t n;
+    std::vector<OrientationResult> orients;
+  };
+  std::vector<SizeResult> xbar_results;
+  for (const std::size_t n : sizes) {
+    SizeResult sr;
+    sr.n = n;
+    for (const Orientation o : {Orientation::kRow, Orientation::kColumn}) {
+      util::Rng rng(0xBE7C'11ull);
+      xbar::Crossbar fast(n, n);
+      randomize(fast, rng);
+      rng.reseed(0xBE7C'11ull);
+      xbar::ReferenceCrossbar ref(n, n);
+      randomize(ref, rng);
 
-    OrientationResult r;
-    r.name = o == Orientation::kRow ? "row" : "column";
-    r.ref_nor_lanes_per_sec =
-        measure_nor_lanes_per_sec(ref, o, false, min_seconds, batch);
-    r.fast_nor_lanes_per_sec =
-        measure_nor_lanes_per_sec(fast, o, false, min_seconds, batch);
-    r.nor_speedup = r.fast_nor_lanes_per_sec / r.ref_nor_lanes_per_sec;
-    r.ref_pair_lanes_per_sec =
-        measure_nor_lanes_per_sec(ref, o, true, min_seconds, batch);
-    r.fast_pair_lanes_per_sec =
-        measure_nor_lanes_per_sec(fast, o, true, min_seconds, batch);
-    r.pair_speedup = r.fast_pair_lanes_per_sec / r.ref_pair_lanes_per_sec;
-    xbar_results.push_back(r);
-    std::cout << "magic_nor " << n << "x" << n << " all-lane (" << r.name
-              << " orientation): reference " << fmt(r.ref_nor_lanes_per_sec)
-              << " lanes/s, word-parallel " << fmt(r.fast_nor_lanes_per_sec)
-              << " lanes/s, speedup " << fmt(r.nor_speedup) << "x (init+nor pair: "
-              << fmt(r.pair_speedup) << "x)\n";
+      OrientationResult r;
+      r.name = o == Orientation::kRow ? "row" : "column";
+      r.ref_nor_lanes_per_sec =
+          measure_nor_lanes_per_sec(ref, o, false, min_seconds, batch);
+      r.ref_pair_lanes_per_sec =
+          measure_nor_lanes_per_sec(ref, o, true, min_seconds, batch);
+
+      simd::set_level(simd::Level::kScalar);
+      r.scalar_nor_lanes_per_sec =
+          measure_nor_lanes_per_sec(fast, o, false, min_seconds, batch);
+      r.scalar_pair_lanes_per_sec =
+          measure_nor_lanes_per_sec(fast, o, true, min_seconds, batch);
+
+      simd::set_level(native_level);
+      if (native_level == simd::Level::kScalar || o == Orientation::kRow) {
+        // Row-orientation NOR never routes through the dispatch table (it
+        // stays scalar at every level), so re-timing it would only record
+        // clock noise: report the scalar numbers for both columns.
+        r.simd_nor_lanes_per_sec = r.scalar_nor_lanes_per_sec;
+        r.simd_pair_lanes_per_sec = r.scalar_pair_lanes_per_sec;
+      } else {
+        r.simd_nor_lanes_per_sec =
+            measure_nor_lanes_per_sec(fast, o, false, min_seconds, batch);
+        r.simd_pair_lanes_per_sec =
+            measure_nor_lanes_per_sec(fast, o, true, min_seconds, batch);
+      }
+      r.nor_speedup = r.simd_nor_lanes_per_sec / r.ref_nor_lanes_per_sec;
+      r.nor_simd_vs_scalar =
+          r.simd_nor_lanes_per_sec / r.scalar_nor_lanes_per_sec;
+      r.pair_speedup = r.simd_pair_lanes_per_sec / r.ref_pair_lanes_per_sec;
+      r.pair_simd_vs_scalar =
+          r.simd_pair_lanes_per_sec / r.scalar_pair_lanes_per_sec;
+      sr.orients.push_back(r);
+      std::cout << "magic_nor " << n << "x" << n << " all-lane (" << r.name
+                << " orientation): reference " << fmt(r.ref_nor_lanes_per_sec)
+                << " lanes/s, scalar " << fmt(r.scalar_nor_lanes_per_sec)
+                << " lanes/s, " << simd::to_string(native_level) << " "
+                << fmt(r.simd_nor_lanes_per_sec) << " lanes/s, speedup "
+                << fmt(r.nor_speedup) << "x vs reference, "
+                << fmt(r.nor_simd_vs_scalar) << "x vs scalar (init+nor pair: "
+                << fmt(r.pair_speedup) << "x)\n";
+    }
+    xbar_results.push_back(sr);
   }
+  std::cout << "crossbar dispatch-level cross-check: "
+            << (xbar_ok ? "ok" : "FAILED -- BUG") << "\n";
 
   // ---------------------------------------------------------- monte carlo
   rel::MonteCarloConfig config;
@@ -196,29 +316,44 @@ int main(int argc, char** argv) {
     return 1;
   }
   json << "{\n"
-       << "  \"schema\": \"pimecc-bench-engine/1\",\n"
+       << "  \"schema\": \"pimecc-bench-engine/2\",\n"
        << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
        << ",\n"
-       << "  \"xbar\": {\n"
-       << "    \"n\": " << n << ",\n";
-  for (std::size_t i = 0; i < xbar_results.size(); ++i) {
-    const OrientationResult& r = xbar_results[i];
-    json << "    \"" << r.name << "\": {\n"
-         << "      \"nor\": {\"reference_lanes_per_sec\": "
-         << fmt(r.ref_nor_lanes_per_sec) << ", \"word_parallel_lanes_per_sec\": "
-         << fmt(r.fast_nor_lanes_per_sec) << ", \"speedup\": "
-         << fmt(r.nor_speedup) << "},\n"
-         << "      \"init_nor_pair\": {\"reference_lanes_per_sec\": "
-         << fmt(r.ref_pair_lanes_per_sec) << ", \"word_parallel_lanes_per_sec\": "
-         << fmt(r.fast_pair_lanes_per_sec) << ", \"speedup\": "
-         << fmt(r.pair_speedup) << "}\n"
-         << "    },\n";
+       << "  \"simd_level\": \"" << simd::to_string(native_level) << "\",\n"
+       << "  \"xbar_cross_check_ok\": " << (xbar_ok ? "true" : "false") << ",\n"
+       << "  \"xbar\": [\n";
+  double min_speedup = 0.0;
+  bool min_speedup_set = false;
+  for (std::size_t s = 0; s < xbar_results.size(); ++s) {
+    const SizeResult& sr = xbar_results[s];
+    json << "    {\n"
+         << "      \"n\": " << sr.n << ",\n";
+    for (std::size_t i = 0; i < sr.orients.size(); ++i) {
+      const OrientationResult& r = sr.orients[i];
+      if (!min_speedup_set || r.nor_speedup < min_speedup) {
+        min_speedup = r.nor_speedup;
+        min_speedup_set = true;
+      }
+      json << "      \"" << r.name << "\": {\n"
+           << "        \"nor\": {\"reference_lanes_per_sec\": "
+           << fmt(r.ref_nor_lanes_per_sec) << ", \"scalar_lanes_per_sec\": "
+           << fmt(r.scalar_nor_lanes_per_sec) << ", \"simd_lanes_per_sec\": "
+           << fmt(r.simd_nor_lanes_per_sec) << ", \"speedup\": "
+           << fmt(r.nor_speedup) << ", \"simd_vs_scalar\": "
+           << fmt(r.nor_simd_vs_scalar) << "},\n"
+           << "        \"init_nor_pair\": {\"reference_lanes_per_sec\": "
+           << fmt(r.ref_pair_lanes_per_sec) << ", \"scalar_lanes_per_sec\": "
+           << fmt(r.scalar_pair_lanes_per_sec) << ", \"simd_lanes_per_sec\": "
+           << fmt(r.simd_pair_lanes_per_sec) << ", \"speedup\": "
+           << fmt(r.pair_speedup) << ", \"simd_vs_scalar\": "
+           << fmt(r.pair_simd_vs_scalar) << "}\n"
+           << "      }" << (i + 1 < sr.orients.size() ? "," : "") << "\n";
+    }
+    json << "    }" << (s + 1 < xbar_results.size() ? "," : "") << "\n";
   }
-  const double min_speedup =
-      std::min(xbar_results[0].nor_speedup, xbar_results[1].nor_speedup);
-  json << "    \"min_nor_speedup\": " << fmt(min_speedup) << "\n"
-       << "  },\n"
+  json << "  ],\n"
+       << "  \"min_nor_speedup\": " << fmt(min_speedup) << ",\n"
        << "  \"montecarlo\": {\n"
        << "    \"n\": " << config.n << ",\n"
        << "    \"m\": " << config.m << ",\n"
@@ -238,5 +373,5 @@ int main(int argc, char** argv) {
        << "  }\n"
        << "}\n";
   std::cout << "wrote " << out_path << "\n";
-  return deterministic ? 0 : 1;
+  return (deterministic && xbar_ok) ? 0 : 1;
 }

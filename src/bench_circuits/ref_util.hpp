@@ -11,21 +11,25 @@
 
 namespace pimecc::circuits {
 
-/// Reads up to 64 bits starting at `offset` as an LSB-first integer.
+/// Reads `width` bits starting at `offset` as an LSB-first integer; only the
+/// low 64 bits of a wider field are representable, so bits past the 64th are
+/// ignored.
 [[nodiscard]] inline std::uint64_t get_bits(const util::BitVector& v,
                                             std::size_t offset, std::size_t width) {
   std::uint64_t x = 0;
-  for (std::size_t i = 0; i < width; ++i) {
+  for (std::size_t i = 0; i < width && i < 64; ++i) {
     if (v.get(offset + i)) x |= std::uint64_t{1} << i;
   }
   return x;
 }
 
-/// Writes `width` bits of `value` (LSB-first) starting at `offset`.
+/// Writes `width` bits of `value` (LSB-first) starting at `offset`.  A field
+/// wider than the 64-bit value zero-extends: bits at index >= 64 are written
+/// as 0 (shifting the value by >= 64 would be UB, not zero).
 inline void set_bits(util::BitVector& v, std::size_t offset, std::size_t width,
                      std::uint64_t value) {
   for (std::size_t i = 0; i < width; ++i) {
-    v.set(offset + i, ((value >> i) & 1u) != 0);
+    v.set(offset + i, i < 64 && ((value >> i) & 1u) != 0);
   }
 }
 

@@ -1,37 +1,40 @@
 #include "core/array_code.hpp"
 
-#include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace pimecc::ecc {
 
 namespace {
 
+/// Row word-pointer table for the dispatched kernels: rows
+/// [row0, row0 + m) of `data`.  m <= diagword::kMaxM == 64.
+std::array<const std::uint64_t*, diagword::kMaxM> row_ptrs(
+    const util::BitMatrix& data, std::size_t row0, std::size_t m) {
+  std::array<const std::uint64_t*, diagword::kMaxM> ptrs;
+  const std::span<const util::BitVector> rows = data.rows_span();
+  for (std::size_t r = 0; r < m; ++r) ptrs[r] = rows[row0 + r].words().data();
+  return ptrs;
+}
+
 /// Accumulates the fresh per-block parity words of one block band (rows
 /// [band_row0, band_row0 + m)): lead[bc]/cnt[bc] receive the leading and
 /// counter parity of block column bc, counter already reflected into
-/// diagonal order.  m <= diagword::kMaxM.
+/// diagonal order.  m <= diagword::kMaxM.  Dispatched (scalar/AVX2/AVX-512).
 void accumulate_band(const util::BitMatrix& data, std::size_t band_row0,
                      std::size_t m, std::vector<std::uint64_t>& lead,
                      std::vector<std::uint64_t>& cnt) {
   const std::size_t bps = lead.size();
-  std::fill(lead.begin(), lead.end(), 0);
-  std::fill(cnt.begin(), cnt.end(), 0);
-  const std::span<const util::BitVector> rows = data.rows_span();
-  for (std::size_t r = 0; r < m; ++r) {
-    const std::span<const std::uint64_t> words = rows[band_row0 + r].words();
-    const std::size_t rot_right = r == 0 ? 0 : m - r;
-    for (std::size_t bc = 0; bc < bps; ++bc) {
-      const std::uint64_t seg = diagword::extract(words, bc * m, m);
-      lead[bc] ^= diagword::rotl(seg, r, m);
-      cnt[bc] ^= diagword::rotl(seg, rot_right, m);
-    }
-  }
+  const auto ptrs = row_ptrs(data, band_row0, m);
+  util::simd::kernels().band_accumulate(ptrs.data(), m, bps, lead.data(),
+                                        cnt.data());
   for (std::size_t bc = 0; bc < bps; ++bc) {
-    cnt[bc] = diagword::stride_permute(cnt[bc], m - 1, m);
+    cnt[bc] = diagword::reflect(cnt[bc], m);
   }
 }
 
@@ -40,15 +43,9 @@ void accumulate_band(const util::BitMatrix& data, std::size_t band_row0,
 void accumulate_block(const util::BitMatrix& data, std::size_t row0,
                       std::size_t col0, std::size_t m, std::uint64_t& lead,
                       std::uint64_t& cnt) {
-  lead = 0;
-  cnt = 0;
-  const std::span<const util::BitVector> rows = data.rows_span();
-  for (std::size_t r = 0; r < m; ++r) {
-    const std::uint64_t seg = diagword::extract(rows[row0 + r].words(), col0, m);
-    lead ^= diagword::rotl(seg, r, m);
-    cnt ^= diagword::rotl(seg, r == 0 ? 0 : m - r, m);
-  }
-  cnt = diagword::stride_permute(cnt, m - 1, m);
+  const auto ptrs = row_ptrs(data, row0, m);
+  util::simd::kernels().block_peel(ptrs.data(), m, col0, &lead, &cnt);
+  cnt = diagword::reflect(cnt, m);
 }
 
 /// Folds one bit-serial DecodeResult into a ScrubReport.

@@ -1,6 +1,9 @@
 #include "core/block_code.hpp"
 
+#include <array>
 #include <stdexcept>
+
+#include "util/simd.hpp"
 
 namespace pimecc::ecc {
 
@@ -33,17 +36,15 @@ CheckBits BlockCodec::encode(const util::BitMatrix& data, std::size_t row0,
   // rotl(seg, r) to the leading parities (bit c -> (r + c) mod m) and
   // rotr(seg, r) to a pre-reflection counter accumulator, reflected once
   // per block (bit c -> (r - c) mod m); see diagword in core/geometry.
+  // The peel is dispatched (scalar/AVX2/AVX-512 by CPU).
   const std::span<const util::BitVector> rows = data.rows_span();
+  std::array<const std::uint64_t*, diagword::kMaxM> ptrs;
+  for (std::size_t r = 0; r < mm; ++r) ptrs[r] = rows[row0 + r].words().data();
   std::uint64_t lead = 0;
   std::uint64_t cnt = 0;
-  for (std::size_t r = 0; r < mm; ++r) {
-    const std::uint64_t seg =
-        diagword::extract(rows[row0 + r].words(), col0, mm);
-    lead ^= diagword::rotl(seg, r, mm);
-    cnt ^= diagword::rotl(seg, r == 0 ? 0 : mm - r, mm);
-  }
+  util::simd::kernels().block_peel(ptrs.data(), mm, col0, &lead, &cnt);
   check.leading.set_low_word(lead);
-  check.counter.set_low_word(diagword::stride_permute(cnt, mm - 1, mm));
+  check.counter.set_low_word(diagword::reflect(cnt, mm));
   return check;
 }
 

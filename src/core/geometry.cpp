@@ -18,6 +18,8 @@ std::uint64_t extract(std::span<const std::uint64_t> words, std::size_t bit0,
 std::uint64_t stride_permute(std::uint64_t seg, std::size_t s,
                              std::size_t m) noexcept {
   s %= m;  // the incremental dest reduction below requires s < m
+  if (s == 1) return seg & low_mask(m);
+  if (s == m - 1 && m > 1) return reflect(seg, m);
   std::uint64_t out = 0;
   std::size_t dest = 0;  // (s * j) mod m, maintained incrementally
   for (std::size_t j = 0; j < m; ++j) {

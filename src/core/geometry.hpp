@@ -21,6 +21,7 @@
 #include <stdexcept>
 
 #include "util/modmath.hpp"
+#include "util/simd.hpp"
 
 namespace pimecc::ecc {
 
@@ -48,15 +49,25 @@ inline constexpr std::size_t kMaxM = 64;
 
 /// Mask of the low m bits (m in [1, 64]).
 [[nodiscard]] constexpr std::uint64_t low_mask(std::size_t m) noexcept {
-  return m >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << m) - 1;
+  return util::simd::low_mask(m);
 }
 
 /// Rotates the low m bits of `seg` left by k: bit c -> (c + k) mod m.
-/// Requires k < m and seg confined to the low m bits.
+/// Total: k is reduced mod m, stray bits of `seg` above position m are
+/// discarded, and there is no shift-width UB at m == 64 (the former
+/// `seg >> (m - k)` form shifted by 64 when k == 0 was only reachable with
+/// k >= m, but the contract is now explicit rather than a caller burden).
 [[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t seg, std::size_t k,
                                            std::size_t m) noexcept {
-  if (k == 0) return seg;
-  return ((seg << k) | (seg >> (m - k))) & low_mask(m);
+  return util::simd::rotl(seg, k, m);
+}
+
+/// Reflection of the low m bits: bit j -> (m - j) mod m.  Equivalent to
+/// stride_permute(seg, m - 1, m) -- the counter-diagonal reordering -- in
+/// O(1) word ops instead of the O(m) bit loop.
+[[nodiscard]] constexpr std::uint64_t reflect(std::uint64_t seg,
+                                              std::size_t m) noexcept {
+  return util::simd::reflect(seg, m);
 }
 
 /// Extracts bits [bit0, bit0 + m) of a row's backing words as the low m
@@ -66,8 +77,10 @@ inline constexpr std::size_t kMaxM = 64;
                                     std::size_t bit0, std::size_t m) noexcept;
 
 /// Applies the stride permutation bit j -> (s * j) mod m to the low m bits
-/// (s reduced mod m; for parity use s must be coprime to m).  O(m), used
-/// once per block, not per row.  s = m-1 is the bit reflection j -> -j.
+/// (s reduced mod m; for parity use s must be coprime to m).  The two
+/// slopes the paper's codec actually uses short-circuit to O(1): s = 1 is
+/// the identity and s = m-1 is reflect(); other strides take the O(m) bit
+/// loop (used once per block, not per row).
 [[nodiscard]] std::uint64_t stride_permute(std::uint64_t seg, std::size_t s,
                                            std::size_t m) noexcept;
 

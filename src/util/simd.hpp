@@ -1,0 +1,181 @@
+// pimecc -- util/simd.hpp
+//
+// Runtime-dispatched SIMD kernels under the word-parallel engines.
+//
+// The word-parallel engines (PRs 2-4) express every hot path as loops over
+// 64-bit words; this layer vectorizes the three hottest of those loops as
+// AVX2 and AVX-512 kernels selected by CPUID at startup, PISA-style: the
+// scalar implementation is retained as the portable fallback and as the
+// golden model every wider variant must match bit-for-bit (pinned by the
+// dispatch-level differential suite in tests/test_simd.cpp).
+//
+// Layering: this header knows nothing about BitVector/BitMatrix -- kernels
+// take raw word pointers, so core/ and xbar/ can both sit on top of it.
+// The bit-rotation primitives (low_mask / rotl / bit_reverse / reflect)
+// live here because both the scalar kernels and core/geometry's diagword
+// wrappers share them.
+//
+// Dispatch levels
+//   kScalar  portable uint64_t loops (always available)
+//   kAvx2    256-bit: gathers + variable 64-bit shifts (x86-64 with AVX2)
+//   kAvx512  512-bit: 8-lane gathers + vpopcntq (needs F/BW/DQ/VL/VPOPCNTDQ)
+//
+// Selection: the highest level the CPU supports, unless the environment
+// variable PIMECC_FORCE_SCALAR is set (non-empty, not "0") at process
+// start, or the library was built with -DPIMECC_FORCE_SCALAR=ON (which
+// compiles the SIMD translation units out entirely).  Tests and benches
+// can also override per-call-site with set_level(), which clamps to the
+// detected level and is how the differential suite proves every available
+// level bit-identical to scalar on the same hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pimecc::util::simd {
+
+// ---------------------------------------------------------------- primitives
+
+/// Mask of the low m bits (m in [0, 64]).
+[[nodiscard]] constexpr std::uint64_t low_mask(std::size_t m) noexcept {
+  return m >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << m) - 1;
+}
+
+/// Masked rotate-left of the low m bits of `seg` by k: bit c -> (c + k) mod m.
+/// Total for every m in [1, 64] and any k (k is reduced mod m; stray bits of
+/// `seg` at positions >= m are discarded before rotating, so they can never
+/// leak into the result through the right-shift half).  Both shift counts
+/// are provably < 64 on every path, so there is no shift-width UB even at
+/// m == 64 -- the corner the unmasked `seg >> (m - k)` form trips over.
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t seg, std::size_t k,
+                                           std::size_t m) noexcept {
+  seg &= low_mask(m);
+  k %= m;
+  if (k == 0) return seg;
+  return ((seg << k) | (seg >> (m - k))) & low_mask(m);
+}
+
+/// Reverses all 64 bits (bit j -> 63 - j).
+[[nodiscard]] constexpr std::uint64_t bit_reverse(std::uint64_t v) noexcept {
+  v = ((v >> 1) & 0x5555555555555555ull) | ((v & 0x5555555555555555ull) << 1);
+  v = ((v >> 2) & 0x3333333333333333ull) | ((v & 0x3333333333333333ull) << 2);
+  v = ((v >> 4) & 0x0f0f0f0f0f0f0f0full) | ((v & 0x0f0f0f0f0f0f0f0full) << 4);
+  v = ((v >> 8) & 0x00ff00ff00ff00ffull) | ((v & 0x00ff00ff00ff00ffull) << 8);
+  v = ((v >> 16) & 0x0000ffff0000ffffull) | ((v & 0x0000ffff0000ffffull) << 16);
+  return (v >> 32) | (v << 32);
+}
+
+/// Reflection of the low m bits: bit j -> (m - j) mod m (bit 0 fixed, bits
+/// [1, m) reversed).  This is the stride-(m-1) permutation -- the counter
+/// diagonal's reordering -- in O(1) instead of the O(m) bit loop:
+/// bit_reverse sends j to 63-j, the shift re-anchors to m-1-j, and one
+/// rotate-left lands on (m - j) mod m.  Valid for m in [1, 64]; the shift
+/// count 64 - m is at most 63 because bit_reverse already handled m == 64.
+[[nodiscard]] constexpr std::uint64_t reflect(std::uint64_t seg,
+                                              std::size_t m) noexcept {
+  return rotl(bit_reverse(seg) >> (64 - m), 1, m);
+}
+
+// ------------------------------------------------------------------ dispatch
+
+enum class Level : unsigned char { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+[[nodiscard]] constexpr const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+/// Highest level this CPU (and this build) supports.  Detected once via
+/// CPUID; a PIMECC_FORCE_SCALAR build reports kScalar unconditionally.
+[[nodiscard]] Level detected_level() noexcept;
+
+/// Level the kernel table currently dispatches to.  Starts at
+/// detected_level(), or kScalar when the PIMECC_FORCE_SCALAR environment
+/// variable is set (non-empty, not "0") at process start.
+[[nodiscard]] Level active_level() noexcept;
+
+/// Re-points the kernel table at `level`.  Throws std::invalid_argument if
+/// the CPU (or build) does not support it -- callers enumerate
+/// available_levels() instead of guessing.  Intended for tests and benches;
+/// concurrent kernel calls see either the old or the new table (the swap is
+/// one atomic pointer store).
+void set_level(Level level);
+
+/// Every level in [kScalar, detected_level()], lowest first.
+[[nodiscard]] std::vector<Level> available_levels();
+
+/// True iff the PIMECC_FORCE_SCALAR environment variable pinned the initial
+/// level to scalar (diagnostic; set_level can still raise it afterwards).
+[[nodiscard]] bool force_scalar_env() noexcept;
+
+// ------------------------------------------------------------------- kernels
+
+/// The dispatched kernels.  All pointers are non-null at every level; the
+/// scalar table is the reference semantics and every wider table must be
+/// bit-identical on any input (differential-tested per level).
+struct KernelTable {
+  /// Diagonal rotate-and-XOR accumulation over one block band (the codec
+  /// engine's encode_all/scrub/consistent_with walk).  rows[r] (r < m)
+  /// points at the backing words of band row r; each row holds bps
+  /// consecutive m-bit segments (m <= 64, segment bc at bits
+  /// [bc*m, bc*m + m)).  Writes, for every block column bc:
+  ///   lead[bc] = XOR_r rotl(seg(r, bc), r, m)
+  ///   cnt[bc]  = XOR_r rotl(seg(r, bc), (m - r) % m, m)
+  /// cnt is left pre-reflection: callers apply simd::reflect once per block
+  /// (the m=63/64-class single-word path that replaced the O(m) stride
+  /// permutation).  Bits above each segment's low m are never read unmasked.
+  void (*band_accumulate)(const std::uint64_t* const* rows, std::size_t m,
+                          std::size_t bps, std::uint64_t* lead,
+                          std::uint64_t* cnt);
+
+  /// Same accumulation for ONE block whose m-bit segment sits at bit offset
+  /// bit0 of each row (the band walk's per-block segment peel: block-column
+  /// scrubs, scrub_block, per-block encode/syndrome).  rows[r] (r < m)
+  /// points at the backing words of block row r.  *lead / *cnt receive the
+  /// leading and pre-reflection counter parity.
+  void (*block_peel)(const std::uint64_t* const* rows, std::size_t m,
+                     std::size_t bit0, std::uint64_t* lead,
+                     std::uint64_t* cnt);
+
+  /// Fused column-orientation MAGIC NOR pass over n_words words:
+  ///   viol    += popcount(mask[w] & ~out[w])        (uninitialized outputs)
+  ///   out[w]  &= ~(mask[w] & (OR_i ins[i][w]))      (out' = out AND NOR(in))
+  /// Returns the violation count.  One pass instead of the former
+  /// copy/OR/invert/count/AND/assign chain; mask's padding bits must be 0
+  /// (BitVector invariant), so out's padding is preserved verbatim.
+  std::size_t (*nor_column_pass)(const std::uint64_t* const* ins,
+                                 std::size_t n_ins, const std::uint64_t* mask,
+                                 std::uint64_t* out, std::size_t n_words);
+};
+
+/// Kernel table for the active level.  One relaxed atomic pointer load.
+[[nodiscard]] const KernelTable& kernels() noexcept;
+
+/// Kernel table for a specific level (throws like set_level on unsupported
+/// levels).  Lets benches time two levels without racing on the global.
+[[nodiscard]] const KernelTable& kernels_for(Level level);
+
+namespace detail {
+/// The scalar implementations, shared by simd.cpp's table and by the AVX
+/// translation units' remainder loops.
+void band_accumulate_scalar(const std::uint64_t* const* rows, std::size_t m,
+                            std::size_t bps, std::uint64_t* lead,
+                            std::uint64_t* cnt);
+void block_peel_scalar(const std::uint64_t* const* rows, std::size_t m,
+                       std::size_t bit0, std::uint64_t* lead,
+                       std::uint64_t* cnt);
+std::size_t nor_column_pass_scalar(const std::uint64_t* const* ins,
+                                   std::size_t n_ins,
+                                   const std::uint64_t* mask,
+                                   std::uint64_t* out, std::size_t n_words);
+/// Defined in simd_avx2.cpp / simd_avx512.cpp (null when compiled out).
+[[nodiscard]] const KernelTable* avx2_table() noexcept;
+[[nodiscard]] const KernelTable* avx512_table() noexcept;
+}  // namespace detail
+
+}  // namespace pimecc::util::simd

@@ -1,0 +1,248 @@
+// pimecc -- util/simd_avx2.cpp
+//
+// AVX2 kernel table.  Compiled with -mavx2 (set per-file by CMake); when the
+// compiler lacks the flag or the build forces scalar, the stub at the bottom
+// keeps the symbol defined and detection reports the level unavailable.
+//
+// Correctness notes shared by the kernels below:
+//  * Variable 64-bit vector shifts (vpsllvq/vpsrlvq) return 0 for any count
+//    >= 64, so the two-shift rotate ((seg << k) | (seg >> m-k)) & mask is
+//    total -- including k == 0 (right count m, possibly 64) and k == m --
+//    with no per-lane branching and no shift-width UB.  This is the vector
+//    twin of the masked scalar simd::rotl.
+//  * Masked gathers (vpgatherqq) perform no memory access on masked-out
+//    lanes, so the conditional second-word read of a straddling segment is
+//    exactly as safe as the scalar `if` it replaces.
+//  * Every gathered word is masked down to the low m segment bits before
+//    use, so tail-word garbage above a row's logical size never leaks in.
+#include "util/simd.hpp"
+
+#if defined(__AVX2__) && !defined(PIMECC_FORCE_SCALAR_BUILD)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+namespace pimecc::util::simd::detail {
+
+namespace {
+
+inline __m256i sll64(__m256i v, std::size_t k) noexcept {
+  return _mm256_sll_epi64(v, _mm_cvtsi32_si128(static_cast<int>(k)));
+}
+inline __m256i srl64(__m256i v, std::size_t k) noexcept {
+  return _mm256_srl_epi64(v, _mm_cvtsi32_si128(static_cast<int>(k)));
+}
+
+/// lead ^= rotl(seg, k); cnt ^= rotl(seg, m-k) for 4 lanes with uniform k.
+/// The four shifted forms are shared between the two accumulators.
+inline void fold_rotations(__m256i seg, std::size_t k, std::size_t m,
+                           __m256i vmask, __m256i& lead, __m256i& cnt) noexcept {
+  const __m256i sl_k = sll64(seg, k);
+  const __m256i sr_k = srl64(seg, k);
+  const __m256i sl_mk = sll64(seg, m - k);
+  const __m256i sr_mk = srl64(seg, m - k);
+  lead = _mm256_xor_si256(
+      lead, _mm256_and_si256(_mm256_or_si256(sl_k, sr_mk), vmask));
+  cnt = _mm256_xor_si256(
+      cnt, _mm256_and_si256(_mm256_or_si256(sl_mk, sr_k), vmask));
+}
+
+void band_accumulate_avx2(const std::uint64_t* const* rows, std::size_t m,
+                          std::size_t bps, std::uint64_t* lead,
+                          std::uint64_t* cnt) {
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(low_mask(m)));
+  std::size_t bc = 0;
+  if (m == 64) {
+    // Word-aligned single-word blocks: plain unaligned loads, no gathers,
+    // no segment peel at all.
+    for (; bc + 4 <= bps; bc += 4) {
+      __m256i vlead = _mm256_setzero_si256();
+      __m256i vcnt = _mm256_setzero_si256();
+      for (std::size_t r = 0; r < m; ++r) {
+        const __m256i seg = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(rows[r] + bc));
+        fold_rotations(seg, r, m, vmask, vlead, vcnt);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lead + bc), vlead);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cnt + bc), vcnt);
+    }
+  } else {
+    for (; bc + 4 <= bps; bc += 4) {
+      // Per-lane word index / intra-word shift of segment bc+l, fixed for
+      // the whole row loop.
+      alignas(32) long long wi[4];
+      alignas(32) long long sh[4];
+      for (std::size_t l = 0; l < 4; ++l) {
+        const std::size_t bit0 = (bc + l) * m;
+        wi[l] = static_cast<long long>(bit0 >> 6);
+        sh[l] = static_cast<long long>(bit0 & 63);
+      }
+      const __m256i vwi = _mm256_load_si256(reinterpret_cast<__m256i*>(wi));
+      const __m256i vsh = _mm256_load_si256(reinterpret_cast<__m256i*>(sh));
+      const __m256i vlsh = _mm256_sub_epi64(_mm256_set1_epi64x(64), vsh);
+      // Lane needs words[wi+1] iff sh != 0 and sh + m > 64 -- the straddle
+      // condition of the scalar extract; such a word provably exists (the
+      // segment ends inside it), so the masked gather never reads past the
+      // row.
+      const __m256i vneed = _mm256_andnot_si256(
+          _mm256_cmpeq_epi64(vsh, _mm256_setzero_si256()),
+          _mm256_cmpgt_epi64(
+              _mm256_add_epi64(vsh, _mm256_set1_epi64x(
+                                        static_cast<long long>(m))),
+              _mm256_set1_epi64x(64)));
+      const __m256i vwi1 = _mm256_add_epi64(vwi, _mm256_set1_epi64x(1));
+      __m256i vlead = _mm256_setzero_si256();
+      __m256i vcnt = _mm256_setzero_si256();
+      for (std::size_t r = 0; r < m; ++r) {
+        const auto* base = reinterpret_cast<const long long*>(rows[r]);
+        const __m256i g0 = _mm256_i64gather_epi64(base, vwi, 8);
+        const __m256i g1 = _mm256_mask_i64gather_epi64(
+            _mm256_setzero_si256(), base, vwi1, vneed, 8);
+        const __m256i seg = _mm256_and_si256(
+            _mm256_or_si256(_mm256_srlv_epi64(g0, vsh),
+                            _mm256_sllv_epi64(g1, vlsh)),
+            vmask);
+        fold_rotations(seg, r, m, vmask, vlead, vcnt);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(lead + bc), vlead);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cnt + bc), vcnt);
+    }
+  }
+  for (; bc < bps; ++bc) {
+    block_peel_scalar(rows, m, bc * m, lead + bc, cnt + bc);
+  }
+}
+
+void block_peel_avx2(const std::uint64_t* const* rows, std::size_t m,
+                     std::size_t bit0, std::uint64_t* lead,
+                     std::uint64_t* cnt) {
+  const std::uint64_t mask = low_mask(m);
+  const std::size_t wi = bit0 / 64;
+  const auto sh = static_cast<long long>(bit0 % 64);
+  const bool straddles = sh != 0 && static_cast<std::size_t>(sh) + m > 64;
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vsh = _mm256_set1_epi64x(sh);
+  const __m256i vlsh = _mm256_set1_epi64x(64 - sh);
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(m));
+  __m256i vlead = _mm256_setzero_si256();
+  __m256i vcnt = _mm256_setzero_si256();
+  std::size_t r = 0;
+  for (; r + 4 <= m; r += 4) {
+    // Four rows at once: the segment position is shared, the row base
+    // pointers are not, so gather by absolute address (base nullptr,
+    // byte-scale indices).  The straddle condition is uniform across lanes,
+    // hence a plain branch instead of a masked gather.
+    const __m256i vaddr = _mm256_set_epi64x(
+        static_cast<long long>(reinterpret_cast<std::uintptr_t>(rows[r + 3] + wi)),
+        static_cast<long long>(reinterpret_cast<std::uintptr_t>(rows[r + 2] + wi)),
+        static_cast<long long>(reinterpret_cast<std::uintptr_t>(rows[r + 1] + wi)),
+        static_cast<long long>(reinterpret_cast<std::uintptr_t>(rows[r + 0] + wi)));
+    const __m256i g0 =
+        _mm256_i64gather_epi64(static_cast<const long long*>(nullptr), vaddr, 1);
+    __m256i seg = _mm256_srlv_epi64(g0, vsh);
+    if (straddles) {
+      const __m256i g1 = _mm256_i64gather_epi64(
+          static_cast<const long long*>(nullptr),
+          _mm256_add_epi64(vaddr, _mm256_set1_epi64x(8)), 1);
+      seg = _mm256_or_si256(seg, _mm256_sllv_epi64(g1, vlsh));
+    }
+    seg = _mm256_and_si256(seg, vmask);
+    // Rotation counts differ per lane (k = r+l): variable shifts, with the
+    // count-64 cases (k = 0 -> m-k may be 64) naturally yielding 0.
+    const __m256i vk = _mm256_set_epi64x(
+        static_cast<long long>(r + 3), static_cast<long long>(r + 2),
+        static_cast<long long>(r + 1), static_cast<long long>(r + 0));
+    const __m256i vmk = _mm256_sub_epi64(vm, vk);
+    vlead = _mm256_xor_si256(
+        vlead, _mm256_and_si256(_mm256_or_si256(_mm256_sllv_epi64(seg, vk),
+                                                _mm256_srlv_epi64(seg, vmk)),
+                                vmask));
+    vcnt = _mm256_xor_si256(
+        vcnt, _mm256_and_si256(_mm256_or_si256(_mm256_sllv_epi64(seg, vmk),
+                                               _mm256_srlv_epi64(seg, vk)),
+                               vmask));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vlead);
+  std::uint64_t l = lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vcnt);
+  std::uint64_t c = lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3];
+  for (; r < m; ++r) {
+    std::uint64_t seg = rows[r][wi] >> sh;
+    if (straddles) seg |= rows[r][wi + 1] << (64 - sh);
+    seg &= mask;
+    l ^= rotl(seg, r, m);
+    c ^= rotl(seg, m - r, m);
+  }
+  *lead = l;
+  *cnt = c;
+}
+
+/// Per-lane popcount of 4x64 via the nibble-LUT + psadbw idiom.
+inline __m256i popcount64x4(__m256i v) noexcept {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+  const __m256i cnt8 = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                       _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt8, _mm256_setzero_si256());
+}
+
+std::size_t nor_column_pass_avx2(const std::uint64_t* const* ins,
+                                 std::size_t n_ins, const std::uint64_t* mask,
+                                 std::uint64_t* out, std::size_t n_words) {
+  __m256i vviol = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= n_words; w += 4) {
+    __m256i any = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ins[0] + w));
+    for (std::size_t i = 1; i < n_ins; ++i) {
+      any = _mm256_or_si256(
+          any, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ins[i] + w)));
+    }
+    const __m256i mw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + w));
+    const __m256i ow =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + w));
+    vviol = _mm256_add_epi64(vviol, popcount64x4(_mm256_andnot_si256(ow, mw)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + w),
+        _mm256_andnot_si256(_mm256_and_si256(mw, any), ow));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vviol);
+  std::size_t violations =
+      static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; w < n_words; ++w) {
+    std::uint64_t any = ins[0][w];
+    for (std::size_t i = 1; i < n_ins; ++i) any |= ins[i][w];
+    violations += static_cast<std::size_t>(std::popcount(mask[w] & ~out[w]));
+    out[w] &= ~(mask[w] & any);
+  }
+  return violations;
+}
+
+constexpr KernelTable kAvx2Table{
+    &band_accumulate_avx2,
+    &block_peel_avx2,
+    &nor_column_pass_avx2,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() noexcept { return &kAvx2Table; }
+
+}  // namespace pimecc::util::simd::detail
+
+#else  // !__AVX2__ || PIMECC_FORCE_SCALAR_BUILD
+
+namespace pimecc::util::simd::detail {
+const KernelTable* avx2_table() noexcept { return nullptr; }
+}  // namespace pimecc::util::simd::detail
+
+#endif

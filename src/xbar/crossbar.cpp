@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/simd.hpp"
+
 namespace pimecc::xbar {
 
 Crossbar::Crossbar(std::size_t n_rows, std::size_t n_cols) : mat_(n_rows, n_cols) {
@@ -168,16 +170,21 @@ OpResult Crossbar::magic_nor(Orientation o, std::span<const std::size_t> in_line
   result.lanes = lanes.empty() ? lane_count(o) : lanes.size();
   if (o == Orientation::kColumn) {
     const util::BitVector& mask = col_lane_mask(lanes, /*require_distinct=*/true);
-    // Lanes are columns, lines are rows: the whole gate is direct row ops.
-    acc_ = mat_.row(in_lines[0]);
-    for (std::size_t i = 1; i < in_lines.size(); ++i) acc_ |= mat_.row(in_lines[i]);
-    acc_.invert();  // logical NOR of all inputs, per lane
+    // Lanes are columns, lines are rows: one fused, dispatched
+    // (scalar/AVX2/AVX-512) pass over the row words computes the physics
+    //   out' = out AND NOT(mask AND OR(ins))   [= out AND NOR(ins) in lanes]
+    // and the violation count popcount(mask AND NOT out) together, instead
+    // of the former copy/OR/invert/count/AND/assign BitVector chain.  The
+    // mask's padding words are zero (BitVector invariant), so the output
+    // row's padding is preserved verbatim.
+    in_ptrs_.clear();
+    for (const std::size_t line : in_lines) {
+      in_ptrs_.push_back(mat_.row(line).words().data());
+    }
     util::BitVector& out = mat_.row(out_line);
-    result.violations = mask.count_and_not(out);
-    // Physics: NOR can only switch LRS->HRS; an uninitialized (HRS) output
-    // stays HRS regardless of the logical NOR value.
-    acc_ &= out;
-    out.assign_masked(acc_, mask);
+    result.violations = util::simd::kernels().nor_column_pass(
+        in_ptrs_.data(), in_ptrs_.size(), mask.words().data(),
+        out.words_mutable().data(), out.word_count());
   } else {
     // Lanes are rows, lines are columns: one fused pass per selected row --
     // read the input column bits and the output bit from that row's words,
@@ -185,6 +192,12 @@ OpResult Crossbar::magic_nor(Orientation o, std::span<const std::size_t> in_line
     // lane instead of separate gather/scatter column walks.  Word offsets
     // and shifts are resolved once, outside the lane loop; fan-in 1 and 2
     // (NOT and the dominant NOR shape) get branch-free specializations.
+    // This orientation intentionally stays scalar at every SIMD dispatch
+    // level: each lane reads/writes a handful of scattered single words
+    // across independent per-row allocations, so a vector port is pure
+    // gather/scatter over the same scattered words with nothing contiguous
+    // to amortize -- unlike the column path above, where lanes are adjacent
+    // bits of the same words.
     check_lanes_distinct(o, lanes);
     const std::span<util::BitVector> row_store = mat_.rows_span();
     using Word = util::BitVector::Word;

@@ -135,9 +135,10 @@ class Crossbar {
   };
 
   util::BitVector lane_mask_;     ///< lane-selection mask for explicit subsets
-  util::BitVector acc_;           ///< input OR / NOR value / driven value
+  util::BitVector acc_;           ///< init batch mask (kRow magic_init)
   util::BitVector ones_cols_;     ///< all-ones over cols()
   std::vector<LineRef> line_refs_;  ///< per-input offsets (kRow fused path)
+  std::vector<const std::uint64_t*> in_ptrs_;  ///< input row words (kColumn)
 };
 
 }  // namespace pimecc::xbar

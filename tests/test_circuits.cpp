@@ -24,6 +24,26 @@ util::BitVector random_input(util::Rng& rng, std::size_t bits, double density) {
   return in;
 }
 
+// ----------------------------------------------------------------- ref_util
+
+// A field wider than 64 bits zero-extends the value; the old implementation
+// shifted the 64-bit value by the in-field bit index, which is UB (caught by
+// the UBSan CI stage) from bit 64 on.
+TEST(RefUtil, WideFieldsZeroExtendWithoutWideShifts) {
+  util::BitVector v(200);
+  for (std::size_t i = 0; i < v.size(); ++i) v.set(i, true);
+  set_bits(v, 3, 128, 0x8000'0000'0000'0005ull);
+  EXPECT_TRUE(v.get(3));        // bit 0 of the value
+  EXPECT_TRUE(v.get(5));        // bit 2
+  EXPECT_FALSE(v.get(4));       // bit 1
+  EXPECT_TRUE(v.get(3 + 63));   // bit 63
+  for (std::size_t i = 64; i < 128; ++i) EXPECT_FALSE(v.get(3 + i)) << i;
+  EXPECT_TRUE(v.get(0) && v.get(3 + 128));  // neighbors untouched
+  // get_bits over a wide field returns the low 64 bits.
+  EXPECT_EQ(get_bits(v, 3, 128), 0x8000'0000'0000'0005ull);
+  EXPECT_EQ(get_bits(v, 3, 64), 0x8000'0000'0000'0005ull);
+}
+
 // ------------------------------------------------------------------ registry
 
 TEST(Registry, ElevenCircuitsInTableOrder) {

@@ -2,13 +2,18 @@
 // table rendering, reliability units.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <vector>
 
+#include "core/geometry.hpp"
 #include "util/bitmatrix.hpp"
 #include "util/bitvector.hpp"
 #include "util/modmath.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -523,6 +528,131 @@ TEST(Table, RowArityEnforced) {
 TEST(Table, Formatters) {
   EXPECT_EQ(format_pct(0.2623, 2), "26.23%");
   EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+}
+
+// ------------------------------------------------- simd rotate primitives
+
+// Bit-by-bit reference rotation: bit j of seg's low m bits lands on
+// (j + k) mod m.  Deliberately ignores bits of seg at positions >= m, the
+// same hygiene the word kernels must have.
+std::uint64_t naive_rotl(std::uint64_t seg, std::size_t k, std::size_t m) {
+  std::uint64_t out = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    if ((seg >> j) & 1u) out |= std::uint64_t{1} << ((j + k) % m);
+  }
+  return out;
+}
+
+// Bit-by-bit reference stride permutation: bit j -> (s * j) mod m.
+std::uint64_t naive_stride(std::uint64_t seg, std::size_t s, std::size_t m) {
+  std::uint64_t out = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    if ((seg >> j) & 1u) out |= std::uint64_t{1} << ((s * j) % m);
+  }
+  return out;
+}
+
+// A mix of adversarial segments for one m: boundary patterns plus random
+// words, each optionally poisoned above bit m (rotl/reflect must mask).
+std::vector<std::uint64_t> rotate_probe_segments(std::size_t m, Rng& rng) {
+  std::vector<std::uint64_t> segs = {
+      0,
+      simd::low_mask(m),
+      std::uint64_t{1},
+      std::uint64_t{1} << (m - 1),
+      0xAAAAAAAAAAAAAAAAull & simd::low_mask(m),
+      ~std::uint64_t{0},  // all 64 bits set: everything above m is stray
+  };
+  for (int i = 0; i < 24; ++i) segs.push_back(rng.next());
+  return segs;
+}
+
+// Regression for the pre-fix kernel contract: the old diagword::rotl
+// required k < m and computed `seg >> (m - k)` unmasked, which is
+// shift-by-64 UB at m == 64, k == 0-via-wraparound (k == m), and silently
+// wrong for stray bits above m.  Exhaustive over k in [0, 2m] including
+// k == m at the word-width corners m in {1, 2, 63, 64}.
+TEST(SimdRotl, MatchesNaiveExhaustivelyAtWordWidthCorners) {
+  Rng rng(0x51D'901ull);
+  for (const std::size_t m : {1u, 2u, 63u, 64u}) {
+    for (const std::uint64_t seg : rotate_probe_segments(m, rng)) {
+      for (std::size_t k = 0; k <= 2 * m; ++k) {
+        EXPECT_EQ(simd::rotl(seg, k, m),
+                  naive_rotl(seg & simd::low_mask(m), k, m))
+            << "m=" << m << " k=" << k << " seg=" << seg;
+      }
+    }
+  }
+}
+
+TEST(SimdRotl, RotationByZeroAndByMIsMaskedIdentity) {
+  // rotl(seg, m, m) == rotl(seg, 0, m) == seg & low_mask(m); at m == 64
+  // this is exactly the shift-by-64 corner.
+  for (const std::size_t m : {1u, 7u, 63u, 64u}) {
+    const std::uint64_t seg = 0xDEADBEEFCAFEF00Dull;
+    EXPECT_EQ(simd::rotl(seg, 0, m), seg & simd::low_mask(m)) << m;
+    EXPECT_EQ(simd::rotl(seg, m, m), seg & simd::low_mask(m)) << m;
+  }
+}
+
+TEST(SimdRotl, AgreesWithDiagwordWrapper) {
+  // core/geometry's diagword::rotl must stay a strict alias of the simd
+  // primitive (the codecs call it on every row).
+  Rng rng(0x51D'902ull);
+  for (const std::size_t m : {3u, 31u, 63u, 64u}) {
+    for (int t = 0; t < 50; ++t) {
+      const std::uint64_t seg = rng.next();
+      const std::size_t k = rng.uniform_below(m + 1);
+      EXPECT_EQ(ecc::diagword::rotl(seg, k, m), simd::rotl(seg, k, m));
+    }
+  }
+}
+
+TEST(SimdBitReverse, KnownValuesAndInvolution) {
+  EXPECT_EQ(simd::bit_reverse(0), 0u);
+  EXPECT_EQ(simd::bit_reverse(~std::uint64_t{0}), ~std::uint64_t{0});
+  EXPECT_EQ(simd::bit_reverse(1), std::uint64_t{1} << 63);
+  EXPECT_EQ(simd::bit_reverse(std::uint64_t{0b1101}),
+            std::uint64_t{0b1011} << 60);
+  Rng rng(0x51D'903ull);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t v = rng.next();
+    EXPECT_EQ(simd::bit_reverse(simd::bit_reverse(v)), v);
+  }
+}
+
+TEST(SimdReflect, MatchesCounterDiagonalMapForEveryM) {
+  // reflect == bit j -> (m - j) mod m == stride_permute(seg, m-1, m), the
+  // O(1) replacement for the codec's per-block counter reordering.
+  Rng rng(0x51D'904ull);
+  for (std::size_t m = 1; m <= 64; ++m) {
+    for (int t = 0; t < 20; ++t) {
+      const std::uint64_t seg = rng.next() & simd::low_mask(m);
+      EXPECT_EQ(simd::reflect(seg, m), naive_stride(seg, m - 1, m))
+          << "m=" << m;
+    }
+  }
+}
+
+TEST(DiagwordStridePermute, FastPathsMatchBitLoop) {
+  // s == 1 (identity) and s == m-1 (reflect) short-circuit; other strides
+  // still take the bit loop.  All must agree with the naive map.
+  Rng rng(0x51D'905ull);
+  for (const std::size_t m : {1u, 2u, 3u, 5u, 8u, 15u, 31u, 33u, 63u, 64u}) {
+    for (int t = 0; t < 20; ++t) {
+      const std::uint64_t seg = rng.next() & simd::low_mask(m);
+      for (std::size_t s = 1; s <= std::min<std::size_t>(m, 6); ++s) {
+        EXPECT_EQ(ecc::diagword::stride_permute(seg, s, m),
+                  naive_stride(seg, s, m))
+            << "m=" << m << " s=" << s;
+      }
+      if (m > 1) {
+        EXPECT_EQ(ecc::diagword::stride_permute(seg, m - 1, m),
+                  naive_stride(seg, m - 1, m))
+            << "m=" << m;
+      }
+    }
+  }
 }
 
 // --------------------------------------------------------------------- units

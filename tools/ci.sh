@@ -15,6 +15,23 @@ if [[ "${1:-}" == "--werror" ]]; then
 fi
 cmake_args+=("$@")
 
+# Sanitizer stage: UBSan+ASan Debug build running the unit-label tests, so
+# the shift-width / tail-word / gather-bounds classes of bug the SIMD
+# kernels are hardened against abort CI instead of regressing silently.
+# Skipped (with a notice) when the toolchain has no ASan runtime.
+sanitize_dir="$repo/build-ci-sanitize"
+if echo 'int main(){}' | c++ -x c++ -fsanitize=address,undefined -o /dev/null - 2>/dev/null; then
+  echo "==== [Sanitize] configure ===="
+  cmake -B "$sanitize_dir" -S "$repo" -DCMAKE_BUILD_TYPE=Debug -DPIMECC_SANITIZE=ON \
+    "${cmake_args[@]+"${cmake_args[@]}"}"
+  echo "==== [Sanitize] build ===="
+  cmake --build "$sanitize_dir" -j "$jobs"
+  echo "==== [Sanitize] test (unit label) ===="
+  ctest --test-dir "$sanitize_dir" -L unit --output-on-failure -j "$jobs"
+else
+  echo "==== toolchain lacks ASan/UBSan runtime; skipping sanitize stage ===="
+fi
+
 release_dir=""
 for config in Debug Release; do
   # tr, not ${config,,}: macOS ships bash 3.2 which lacks case expansion.
