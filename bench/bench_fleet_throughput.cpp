@@ -1,0 +1,359 @@
+// Fleet engine harness: measures the sharded multi-crossbar fleet on the
+// work-stealing executor and emits machine-readable BENCH_fleet.json.
+//
+//   1. montecarlo: trials/second of run_fleet_montecarlo across a
+//      shard-count sweep (full executor width) and a worker-count sweep at
+//      a fixed fleet size -- the scaling surface of the tentpole.
+//   2. scrub: blocks/second of CrossbarFleet::scrub_all across the same
+//      shard and worker sweeps (each shard's contiguous image streaming
+//      through the SIMD band walks).
+//   3. mttf_grid: the paper-scale Figure 6 surface -- lifetime campaigns
+//      over banks of up to ~1 GB (8259 shards of 1020 x 1020 at m = 15)
+//      across an SER sweep, empirical MTTF next to the Section V-A closed
+//      form in every cell.
+//
+// Every run first executes the cross-check gate and the process exit
+// status reflects it:
+//   - fleet Monte Carlo totals must be BIT-IDENTICAL, counter for counter,
+//     to the flat single-crossbar run_montecarlo on a shared seed at EVERY
+//     tested shard count and EVERY tested worker count (the shared
+//     sparse-trial substream contract), with identical per-shard slots
+//     across worker counts and an identically advanced caller stream;
+//   - fleet scrub_all must agree, shard for shard and in aggregate, with a
+//     serial loop over independent single-crossbar ArrayCode engines on
+//     the same images and injected faults, at serial and full width.
+//
+// Usage: bench_fleet_throughput [--smoke] [--out=PATH]
+//   --smoke    fast CI configuration (small fleets, short measurements)
+//   --out=PATH where to write the JSON (default: BENCH_fleet.json)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/fleet.hpp"
+#include "core/array_code.hpp"
+#include "reliability/fleet_reliability.hpp"
+#include "reliability/montecarlo.hpp"
+#include "util/executor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// FIT/bit giving `mean_flips` expected flips per window over `population`.
+double fit_for_mean_flips(double mean_flips, std::uint64_t population,
+                          double window_hours) {
+  const double p = mean_flips / static_cast<double>(population);
+  return p * 1e9 / window_hours;
+}
+
+template <typename Campaign>
+double measure_rate(double min_seconds, Campaign&& campaign) {
+  double units = 0.0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    units += campaign();
+    elapsed = seconds_since(start);
+  } while (elapsed < min_seconds);
+  return units / elapsed;
+}
+
+struct SweepPoint {
+  std::size_t shards = 0;
+  std::size_t threads = 0;  // 0 = full executor width
+  double per_sec = 0.0;
+};
+
+void emit_sweep(std::ofstream& json, const char* key, const char* unit,
+                const std::vector<SweepPoint>& sweep, bool last = false) {
+  json << "  \"" << key << "\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    json << "    {\"shards\": " << sweep[i].shards
+         << ", \"threads\": " << sweep[i].threads << ", \"" << unit
+         << "\": " << fmt(sweep[i].per_sec) << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ]" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pimecc;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_fleet_throughput [--smoke] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  bool cross_checks_ok = true;
+  const double min_seconds = smoke ? 0.05 : 1.0;
+  const std::size_t workers = util::Executor::shared().worker_count();
+
+  // Per-shard geometry: the paper's n = 510 case in full, a tiny shard in
+  // smoke; mean ~3 flips per trial (the rare-event regime).
+  const std::size_t shard_n = smoke ? 60 : 510;
+  const std::size_t shard_m = 15;
+  const std::vector<std::size_t> shard_sweep =
+      smoke ? std::vector<std::size_t>{4, 16}
+            : std::vector<std::size_t>{16, 64, 256};
+  const std::vector<std::size_t> worker_sweep =
+      smoke ? std::vector<std::size_t>{1, 2, 0}
+            : std::vector<std::size_t>{1, 2, 4, 0};
+  const std::size_t fixed_shards = shard_sweep[shard_sweep.size() / 2];
+
+  auto fleet_mc_config = [&](std::size_t shards, std::size_t trials_per_shard,
+                             std::size_t threads) {
+    rel::FleetMonteCarloConfig config;
+    config.n = shard_n;
+    config.m = shard_m;
+    config.window_hours = 24.0;
+    const std::size_t blocks = (shard_n / shard_m) * (shard_n / shard_m);
+    config.fit_per_bit = fit_for_mean_flips(
+        3.0, shard_n * shard_n + blocks * 2 * shard_m, 24.0);
+    config.shards = shards;
+    config.trials_per_shard = trials_per_shard;
+    config.threads = threads;
+    return config;
+  };
+
+  // ---------------------------------------------- cross-check gate: fleet MC
+  // Bit-identity against the flat engine at every shard count and worker
+  // count the sweeps below will time; shard slots invariant across workers.
+  {
+    const std::size_t gate_trials_per_shard = smoke ? 3 : 5;
+    for (const std::size_t shards : shard_sweep) {
+      std::vector<rel::FleetShardOutcome> pinned_slots;
+      for (const std::size_t threads : worker_sweep) {
+        util::Rng fleet_rng(0xF1EE7ull + shards);
+        const rel::FleetMonteCarloResult fleet = rel::run_fleet_montecarlo(
+            fleet_mc_config(shards, gate_trials_per_shard, threads),
+            fleet_rng);
+        util::Rng flat_rng(0xF1EE7ull + shards);
+        const rel::MonteCarloResult flat = rel::run_montecarlo(
+            fleet_mc_config(shards, gate_trials_per_shard, threads).flat(),
+            flat_rng);
+        if (!(fleet.total == flat) || fleet_rng.next() != flat_rng.next()) {
+          std::cerr << "fleet-vs-flat cross-check FAILED at shards=" << shards
+                    << " threads=" << threads << "\n";
+          cross_checks_ok = false;
+        }
+        if (pinned_slots.empty()) {
+          pinned_slots = fleet.shards;
+        } else if (fleet.shards != pinned_slots) {
+          std::cerr << "shard-slot invariance FAILED at shards=" << shards
+                    << " threads=" << threads << "\n";
+          cross_checks_ok = false;
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------- cross-check gate: fleet scrub
+  // Fleet bulk scrub vs a serial loop of independent single-crossbar
+  // engines on identical images and faults, serial and full width.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+    arch::FleetParams params;
+    params.n = shard_n;
+    params.m = shard_m;
+    params.shards = smoke ? 8 : 32;
+    params.threads = threads;
+    arch::CrossbarFleet fleet(params);
+    util::Rng rng(0x5C4Bull);
+    fleet.load_random(rng);
+    std::vector<util::BitMatrix> mirror_data;
+    std::vector<ecc::ArrayCode> mirror_codes;
+    for (std::size_t s = 0; s < params.shards; ++s) {
+      mirror_data.push_back(fleet.data(s));
+      mirror_codes.emplace_back(shard_n, shard_m);
+      mirror_codes.back().encode_all(mirror_data.back());
+    }
+    const auto flips =
+        fleet.inject_random_errors(rng, 4 * params.shards);
+    for (const arch::FleetAddress& f : flips) {
+      mirror_data[f.shard].flip(f.row, f.col);
+    }
+    const arch::FleetScrubReport report = fleet.scrub_all();
+    arch::FleetScrubReport expect;
+    for (std::size_t s = 0; s < params.shards; ++s) {
+      const ecc::ScrubReport r = mirror_codes[s].scrub(mirror_data[s]);
+      ++expect.shards_checked;
+      expect.blocks_checked += r.blocks_checked;
+      expect.clean += r.clean;
+      expect.corrected_data += r.corrected_data;
+      expect.corrected_check += r.corrected_check;
+      expect.uncorrectable += r.uncorrectable;
+    }
+    bool images_match = true;
+    for (std::size_t s = 0; s < params.shards; ++s) {
+      if (!(fleet.data(s) == mirror_data[s])) images_match = false;
+    }
+    if (!(report == expect) || !images_match) {
+      std::cerr << "fleet-vs-single scrub cross-check FAILED at threads="
+                << threads << "\n";
+      cross_checks_ok = false;
+    }
+  }
+  std::cout << "cross-checks: " << (cross_checks_ok ? "ok" : "FAILED -- BUG")
+            << "\n";
+
+  // -------------------------------------------------- montecarlo throughput
+  const std::size_t bench_trials_per_shard = smoke ? 3 : 10;
+  std::vector<SweepPoint> mc_shard_sweep;
+  for (const std::size_t shards : shard_sweep) {
+    std::uint64_t stamp = 1;
+    SweepPoint point{shards, 0, 0.0};
+    point.per_sec = measure_rate(min_seconds, [&] {
+      util::Rng rng(stamp++);
+      (void)rel::run_fleet_montecarlo(
+          fleet_mc_config(shards, bench_trials_per_shard, 0), rng);
+      return static_cast<double>(shards * bench_trials_per_shard);
+    });
+    mc_shard_sweep.push_back(point);
+    std::cout << "montecarlo shards=" << shards << ": "
+              << fmt(point.per_sec) << " trials/s\n";
+  }
+  std::vector<SweepPoint> mc_worker_sweep;
+  for (const std::size_t threads : worker_sweep) {
+    std::uint64_t stamp = 100;
+    SweepPoint point{fixed_shards, threads, 0.0};
+    point.per_sec = measure_rate(min_seconds, [&] {
+      util::Rng rng(stamp++);
+      (void)rel::run_fleet_montecarlo(
+          fleet_mc_config(fixed_shards, bench_trials_per_shard, threads), rng);
+      return static_cast<double>(fixed_shards * bench_trials_per_shard);
+    });
+    mc_worker_sweep.push_back(point);
+    std::cout << "montecarlo shards=" << fixed_shards << " threads=" << threads
+              << ": " << fmt(point.per_sec) << " trials/s\n";
+  }
+
+  // ------------------------------------------------------- scrub throughput
+  auto scrub_rate = [&](std::size_t shards, std::size_t threads) {
+    arch::FleetParams params;
+    params.n = shard_n;
+    params.m = shard_m;
+    params.shards = shards;
+    params.threads = threads;
+    arch::CrossbarFleet fleet(params);
+    util::Rng rng(0xB10C'5ull);
+    fleet.load_random(rng);
+    const double blocks_per_pass = static_cast<double>(
+        shards * (shard_n / shard_m) * (shard_n / shard_m));
+    return measure_rate(min_seconds, [&] {
+      (void)fleet.scrub_all();
+      return blocks_per_pass;
+    });
+  };
+  std::vector<SweepPoint> scrub_shard_sweep;
+  for (const std::size_t shards : shard_sweep) {
+    SweepPoint point{shards, 0, scrub_rate(shards, 0)};
+    scrub_shard_sweep.push_back(point);
+    std::cout << "scrub shards=" << shards << ": " << fmt(point.per_sec)
+              << " blocks/s\n";
+  }
+  std::vector<SweepPoint> scrub_worker_sweep;
+  for (const std::size_t threads : worker_sweep) {
+    SweepPoint point{fixed_shards, threads, scrub_rate(fixed_shards, threads)};
+    scrub_worker_sweep.push_back(point);
+    std::cout << "scrub shards=" << fixed_shards << " threads=" << threads
+              << ": " << fmt(point.per_sec) << " blocks/s\n";
+  }
+
+  // ------------------------------------------------- Figure 6 MTTF surface
+  // Full mode: banks up to 8259 shards of 1020 x 1020 at m = 15 -- the
+  // paper's 1 GB memory -- daily scrubbing, a 20-year horizon, and an SER
+  // sweep high enough that failures are observable within the horizon.
+  rel::FleetMttfGridConfig grid_config;
+  grid_config.n = smoke ? 60 : 1020;
+  grid_config.m = 15;
+  grid_config.scrub_period_hours = 24.0;
+  grid_config.max_hours = 24.0 * 365 * (smoke ? 1 : 20);
+  grid_config.trials = smoke ? 4 : 20;
+  grid_config.threads = 0;
+  grid_config.fit_points =
+      smoke ? std::vector<double>{1e5, 1e6}
+            : std::vector<double>{0.5, 1.0, 5.0};
+  grid_config.shard_counts =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{64, 1024, 8259};
+  util::Rng grid_rng(0xF16'6ull);
+  const std::vector<rel::FleetMttfPoint> grid =
+      rel::run_fleet_mttf_grid(grid_config, grid_rng);
+  for (const rel::FleetMttfPoint& point : grid) {
+    std::cout << "mttf fit=" << fmt(point.fit_per_bit)
+              << " shards=" << point.shards << ": empirical "
+              << fmt(point.empirical_mttf_hours) << " h ("
+              << point.failures << "/" << point.trials
+              << " failed), analytic " << fmt(point.analytic_mttf_hours)
+              << " h\n";
+  }
+
+  // ------------------------------------------------------------------ JSON
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"schema\": \"pimecc-bench-fleet/1\",\n"
+       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"cross_checks_ok\": " << (cross_checks_ok ? "true" : "false")
+       << ",\n"
+       << "  \"executor\": {\"workers\": " << workers
+       << ", \"parallelism\": " << (workers + 1) << "},\n"
+       << "  \"shard_n\": " << shard_n << ",\n"
+       << "  \"shard_m\": " << shard_m << ",\n";
+  emit_sweep(json, "montecarlo_shard_sweep", "trials_per_sec", mc_shard_sweep);
+  emit_sweep(json, "montecarlo_worker_sweep", "trials_per_sec",
+             mc_worker_sweep);
+  emit_sweep(json, "scrub_shard_sweep", "blocks_per_sec", scrub_shard_sweep);
+  emit_sweep(json, "scrub_worker_sweep", "blocks_per_sec", scrub_worker_sweep);
+  json << "  \"mttf_grid\": {\n"
+       << "    \"n\": " << grid_config.n << ", \"m\": " << grid_config.m
+       << ", \"scrub_period_hours\": " << fmt(grid_config.scrub_period_hours)
+       << ", \"horizon_hours\": " << fmt(grid_config.max_hours)
+       << ", \"trials_per_cell\": " << grid_config.trials << ",\n"
+       << "    \"cells\": [\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const rel::FleetMttfPoint& point = grid[i];
+    json << "      {\"fit_per_bit\": " << fmt(point.fit_per_bit)
+         << ", \"shards\": " << point.shards
+         << ", \"failures\": " << point.failures
+         << ", \"trials\": " << point.trials
+         << ", \"empirical_mttf_hours\": " << fmt(point.empirical_mttf_hours)
+         << ", \"analytic_mttf_hours\": " << fmt(point.analytic_mttf_hours)
+         << ", \"scrub_windows\": " << point.scrub_windows << "}"
+         << (i + 1 < grid.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n"
+       << "  }\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return cross_checks_ok ? 0 : 1;
+}

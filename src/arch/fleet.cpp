@@ -1,0 +1,184 @@
+#include "arch/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fault/injector.hpp"
+#include "util/executor.hpp"
+
+namespace pimecc::arch {
+
+void FleetParams::validate() const {
+  if (shards == 0) {
+    throw std::invalid_argument("FleetParams: fleet must have >= 1 shard");
+  }
+  // ArrayCode's constructor enforces the (n, m) contract (odd m dividing n).
+  (void)ecc::ArrayCode(n, m);
+}
+
+CrossbarFleet::CrossbarFleet(const FleetParams& params) : params_(params) {
+  params_.validate();
+  data_.reserve(params_.shards);
+  codes_.reserve(params_.shards);
+  for (std::size_t s = 0; s < params_.shards; ++s) {
+    data_.emplace_back(params_.n, params_.n);
+    codes_.emplace_back(params_.n, params_.m);
+  }
+  counters_.resize(params_.shards);
+}
+
+void CrossbarFleet::require_shard(std::size_t shard) const {
+  if (shard >= params_.shards) {
+    throw std::out_of_range("CrossbarFleet: shard index out of range");
+  }
+}
+
+const util::BitMatrix& CrossbarFleet::data(std::size_t shard) const {
+  require_shard(shard);
+  return data_[shard];
+}
+
+const ecc::ArrayCode& CrossbarFleet::code(std::size_t shard) const {
+  require_shard(shard);
+  return codes_[shard];
+}
+
+const ShardCounters& CrossbarFleet::counters(std::size_t shard) const {
+  require_shard(shard);
+  return counters_[shard];
+}
+
+FleetAddress CrossbarFleet::translate(std::uint64_t bit_index) const {
+  if (bit_index >= params_.data_bits()) {
+    throw std::out_of_range("CrossbarFleet::translate: address out of range");
+  }
+  const std::uint64_t cells_per_shard =
+      static_cast<std::uint64_t>(params_.n) * params_.n;
+  FleetAddress addr;
+  addr.shard = static_cast<std::size_t>(bit_index / cells_per_shard);
+  const std::uint64_t cell = bit_index % cells_per_shard;
+  addr.row = static_cast<std::size_t>(cell / params_.n);
+  addr.col = static_cast<std::size_t>(cell % params_.n);
+  return addr;
+}
+
+void CrossbarFleet::load_random(util::Rng& rng) {
+  const std::uint64_t base_seed = rng.next();
+  util::parallel_for(
+      util::Executor::shared(), params_.shards, params_.threads,
+      [this, base_seed](std::size_t s) {
+        util::Rng shard_rng = util::Rng::for_stream(base_seed, s);
+        util::BitMatrix& image = data_[s];
+        for (auto& row : image.rows_span()) {
+          util::fill_random(row, shard_rng);
+        }
+        codes_[s].encode_all(image);
+        ++counters_[s].encode_passes;
+      });
+}
+
+void CrossbarFleet::load_broadcast(const util::BitMatrix& image) {
+  if (image.rows() != params_.n || image.cols() != params_.n) {
+    throw std::invalid_argument("CrossbarFleet::load_broadcast: image must be n x n");
+  }
+  util::parallel_for(util::Executor::shared(), params_.shards, params_.threads,
+                     [this, &image](std::size_t s) {
+                       data_[s] = image;
+                       codes_[s].encode_all(data_[s]);
+                       ++counters_[s].encode_passes;
+                     });
+}
+
+void CrossbarFleet::encode_all() {
+  util::parallel_for(util::Executor::shared(), params_.shards, params_.threads,
+                     [this](std::size_t s) {
+                       codes_[s].encode_all(data_[s]);
+                       ++counters_[s].encode_passes;
+                     });
+}
+
+FleetScrubReport CrossbarFleet::scrub_all() {
+  std::vector<ecc::ScrubReport> reports(params_.shards);
+  util::parallel_for(util::Executor::shared(), params_.shards, params_.threads,
+                     [this, &reports](std::size_t s) {
+                       reports[s] = codes_[s].scrub(data_[s]);
+                       ShardCounters& c = counters_[s];
+                       ++c.scrub_passes;
+                       c.corrected_data += reports[s].corrected_data;
+                       c.corrected_check += reports[s].corrected_check;
+                       c.uncorrectable += reports[s].uncorrectable;
+                     });
+  FleetScrubReport total;
+  for (const ecc::ScrubReport& r : reports) {  // shard order: deterministic
+    ++total.shards_checked;
+    total.blocks_checked += r.blocks_checked;
+    total.clean += r.clean;
+    total.corrected_data += r.corrected_data;
+    total.corrected_check += r.corrected_check;
+    total.uncorrectable += r.uncorrectable;
+  }
+  return total;
+}
+
+bool CrossbarFleet::all_consistent() const {
+  std::vector<char> consistent(params_.shards, 0);
+  util::parallel_for(util::Executor::shared(), params_.shards, params_.threads,
+                     [this, &consistent](std::size_t s) {
+                       consistent[s] = codes_[s].consistent_with(data_[s]) ? 1 : 0;
+                     });
+  return std::all_of(consistent.begin(), consistent.end(),
+                     [](char ok) { return ok != 0; });
+}
+
+std::vector<FleetAddress> CrossbarFleet::inject_random_errors(
+    util::Rng& rng, std::size_t count) {
+  const std::uint64_t population = params_.data_bits();
+  if (count > population) {
+    throw std::invalid_argument(
+        "CrossbarFleet::inject_random_errors: more errors than data bits");
+  }
+  // Sampling stays on the caller's thread so the rng draw order is fixed.
+  // sample_distinct works in std::size_t; fleets are addressed in 64-bit,
+  // so reject configurations a 32-bit size_t could not address (we only
+  // build 64-bit targets, so this is a static guarantee in practice).
+  if (population > static_cast<std::uint64_t>(~std::size_t{0})) {
+    throw std::invalid_argument(
+        "CrossbarFleet::inject_random_errors: fleet exceeds size_t addressing");
+  }
+  std::vector<std::size_t> flat;
+  fault::sample_distinct(rng, static_cast<std::size_t>(population), count, flat);
+  std::vector<FleetAddress> flipped;
+  flipped.reserve(count);
+  for (const std::size_t bit : flat) {  // sorted ascending by contract
+    const FleetAddress addr = translate(bit);
+    data_[addr.shard].flip(addr.row, addr.col);
+    ++counters_[addr.shard].injected_faults;
+    flipped.push_back(addr);
+  }
+  return flipped;
+}
+
+void CrossbarFleet::inject_data_error(std::size_t shard, std::size_t r,
+                                      std::size_t c) {
+  require_shard(shard);
+  if (r >= params_.n || c >= params_.n) {
+    throw std::out_of_range("CrossbarFleet::inject_data_error: cell out of range");
+  }
+  data_[shard].flip(r, c);
+  ++counters_[shard].injected_faults;
+}
+
+ShardCounters CrossbarFleet::total_counters() const {
+  ShardCounters total;
+  for (const ShardCounters& c : counters_) {
+    total.encode_passes += c.encode_passes;
+    total.scrub_passes += c.scrub_passes;
+    total.corrected_data += c.corrected_data;
+    total.corrected_check += c.corrected_check;
+    total.uncorrectable += c.uncorrectable;
+    total.injected_faults += c.injected_faults;
+  }
+  return total;
+}
+
+}  // namespace pimecc::arch

@@ -1,7 +1,10 @@
 #include "arch/memory_system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "util/executor.hpp"
 
 namespace pimecc::arch {
 
@@ -49,9 +52,17 @@ GlobalAddress MemorySystem::translate(std::uint64_t bit_index) const {
 }
 
 void MemorySystem::load_random(util::Rng& rng) {
-  for (auto& machine : units_) {
-    machine.load(util::random_bit_matrix(params_.unit.n, params_.unit.n, rng));
-  }
+  // One caller draw, unit u from substream u (the fleet/reliability seed
+  // discipline): images are bit-identical at any worker count and the
+  // caller's generator advances by exactly one draw regardless of grid
+  // shape.
+  const std::uint64_t base_seed = rng.next();
+  util::parallel_for(util::Executor::shared(), units_.size(), 0,
+                     [this, base_seed](std::size_t u) {
+                       util::Rng unit_rng = util::Rng::for_stream(base_seed, u);
+                       units_[u].load(util::random_bit_matrix(
+                           params_.unit.n, params_.unit.n, unit_rng));
+                     });
 }
 
 std::vector<GlobalAddress> MemorySystem::inject_random_errors(util::Rng& rng,
@@ -72,9 +83,14 @@ std::vector<GlobalAddress> MemorySystem::inject_random_errors(util::Rng& rng,
 }
 
 SystemScrubReport MemorySystem::scrub_all() {
+  // Per-unit report slots, merged in unit order after the join, so the
+  // aggregate (and each unit's cycle accounting) is worker-count invariant.
+  std::vector<CheckReport> reports(units_.size());
+  util::parallel_for(
+      util::Executor::shared(), units_.size(), 0,
+      [this, &reports](std::size_t u) { reports[u] = units_[u].scrub(); });
   SystemScrubReport total;
-  for (auto& machine : units_) {
-    const CheckReport r = machine.scrub();
+  for (const CheckReport& r : reports) {
     ++total.units_checked;
     total.blocks_checked += r.blocks_checked;
     total.corrected_data += r.corrected_data;
@@ -105,10 +121,13 @@ DeviceCounts MemorySystem::aggregate_device_counts() const {
 }
 
 bool MemorySystem::all_consistent() const {
-  for (const auto& machine : units_) {
-    if (!machine.ecc_consistent()) return false;
-  }
-  return true;
+  std::vector<char> consistent(units_.size(), 0);
+  util::parallel_for(util::Executor::shared(), units_.size(), 0,
+                     [this, &consistent](std::size_t u) {
+                       consistent[u] = units_[u].ecc_consistent() ? 1 : 0;
+                     });
+  return std::all_of(consistent.begin(), consistent.end(),
+                     [](char ok) { return ok != 0; });
 }
 
 }  // namespace pimecc::arch

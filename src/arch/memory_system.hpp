@@ -72,13 +72,18 @@ class MemorySystem {
   [[nodiscard]] GlobalAddress translate(std::uint64_t bit_index) const;
 
   /// Fills every unit with deterministic pseudo-random data and encodes.
+  /// Draws ONE base seed from `rng` and fills unit u from substream u;
+  /// units load in parallel on the shared executor with bit-identical
+  /// images at any worker count.
   void load_random(util::Rng& rng);
 
   /// Flips `count` distinct uniformly-chosen data bits across the bank.
   std::vector<GlobalAddress> inject_random_errors(util::Rng& rng,
                                                   std::size_t count);
 
-  /// Full check of every block of every unit.
+  /// Full check of every block of every unit.  Units scrub in parallel on
+  /// the shared executor; per-unit reports merge in unit order, so the
+  /// aggregate is worker-count invariant.
   SystemScrubReport scrub_all();
 
   /// Incremental background scrub: checks the next block-row of the next

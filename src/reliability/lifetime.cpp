@@ -97,69 +97,69 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
   // caller's generator advances identically for every thread count.
   const std::uint64_t base_seed = rng.next();
 
-  // Per-trial TTF (negative = survived), filled by whichever worker owns
-  // the trial and folded into the RunningStats in trial order after the
-  // join -- bit-identical statistics for any thread count.
+  // Per-trial TTF (negative = survived), filled into the trial's own slot
+  // by whichever lane runs it and folded into the RunningStats in trial
+  // order after the join -- bit-identical statistics for any thread count.
   std::vector<double> ttf(config.trials, -1.0);
 
-  struct Partial {
+  // Lane state: commutative counter sums plus reusable scratch.  Trial t
+  // always rides substream t, so the dynamic lane assignment cannot
+  // affect any sampled value.
+  struct Lane {
     std::uint64_t scrubs = 0;
     std::uint64_t corrected = 0;
     std::size_t failures = 0;
+    std::vector<std::size_t> hit_blocks;
   };
 
-  auto run_range = [&](std::size_t first, std::size_t last, Partial& out) {
-    std::vector<std::size_t> hit_blocks;
-    for (std::size_t trial = first; trial < last; ++trial) {
-      util::Rng trial_rng = util::Rng::for_stream(base_seed, trial);
-      if (s <= 0.0) {  // no events can ever land: every window is empty
-        out.scrubs += total_windows;
+  auto run_trial = [&](Lane& out, std::size_t trial) {
+    util::Rng trial_rng = util::Rng::for_stream(base_seed, trial);
+    if (s <= 0.0) {  // no events can ever land: every window is empty
+      out.scrubs += total_windows;
+      return;
+    }
+    std::uint64_t window = 0;  // 1-based index of the last window handled
+    bool failed = false;
+    while (!failed) {
+      // Jump straight to the next non-empty window: `gap` empty windows,
+      // then one carrying >= 1 hit.
+      const std::uint64_t gap = trial_rng.geometric(s);
+      if (gap >= total_windows || window + gap >= total_windows) break;
+      window += gap + 1;
+      const std::uint64_t hits =
+          positive_binomial(trial_rng, total_cells, p_window, s, log_q0);
+      if (hits == 1) {
+        ++out.corrected;
         continue;
       }
-      std::uint64_t window = 0;  // 1-based index of the last window handled
-      bool failed = false;
-      while (!failed) {
-        // Jump straight to the next non-empty window: `gap` empty windows,
-        // then one carrying >= 1 hit.
-        const std::uint64_t gap = trial_rng.geometric(s);
-        if (gap >= total_windows || window + gap >= total_windows) break;
-        window += gap + 1;
-        const std::uint64_t hits =
-            positive_binomial(trial_rng, total_cells, p_window, s, log_q0);
-        if (hits == 1) {
-          ++out.corrected;
-          continue;
-        }
-        // Assign each hit to a block; the walk and the failure predicate
-        // are identical to the reference engine's.
-        hit_blocks.clear();
-        for (std::uint64_t h = 0; h < hits; ++h) {
-          hit_blocks.push_back(
-              static_cast<std::size_t>(trial_rng.uniform_below(total_blocks)));
-        }
-        std::sort(hit_blocks.begin(), hit_blocks.end());
-        for (std::size_t i = 0; i + 1 < hit_blocks.size(); ++i) {
-          if (hit_blocks[i] == hit_blocks[i + 1]) {
-            failed = true;
-            break;
-          }
-        }
-        if (!failed) out.corrected += hits;
+      // Assign each hit to a block; the walk and the failure predicate
+      // are identical to the reference engine's.
+      out.hit_blocks.clear();
+      for (std::uint64_t h = 0; h < hits; ++h) {
+        out.hit_blocks.push_back(
+            static_cast<std::size_t>(trial_rng.uniform_below(total_blocks)));
       }
-      if (failed) {
-        ++out.failures;
-        out.scrubs += window;  // the failing scrub is the last one performed
-        ttf[trial] =
-            static_cast<double>(window) * config.scrub_period_hours;
-      } else {
-        out.scrubs += total_windows;  // survived: every window was scrubbed
+      std::sort(out.hit_blocks.begin(), out.hit_blocks.end());
+      for (std::size_t i = 0; i + 1 < out.hit_blocks.size(); ++i) {
+        if (out.hit_blocks[i] == out.hit_blocks[i + 1]) {
+          failed = true;
+          break;
+        }
       }
+      if (!failed) out.corrected += hits;
+    }
+    if (failed) {
+      ++out.failures;
+      out.scrubs += window;  // the failing scrub is the last one performed
+      ttf[trial] = static_cast<double>(window) * config.scrub_period_hours;
+    } else {
+      out.scrubs += total_windows;  // survived: every window was scrubbed
     }
   };
 
-  Partial total;
-  for (const Partial& partial : detail::run_partitioned<Partial>(
-           config.trials, config.threads, run_range)) {
+  Lane total;
+  for (const Lane& partial : detail::run_trial_pool<Lane>(
+           config.trials, config.threads, [] { return Lane{}; }, run_trial)) {
     total.scrubs += partial.scrubs;
     total.corrected += partial.corrected;
     total.failures += partial.failures;

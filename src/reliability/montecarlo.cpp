@@ -1,15 +1,13 @@
 #include "reliability/montecarlo.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <utility>
 #include <vector>
 
 #include "core/array_code.hpp"
-#include "fault/injector.hpp"
 #include "reliability/config_checks.hpp"
 #include "reliability/parallel.hpp"
+#include "reliability/sparse_trial.hpp"
 #include "util/bitmatrix.hpp"
 #include "util/bitvector.hpp"
 #include "util/units.hpp"
@@ -22,10 +20,8 @@ double MonteCarloResult::block_failure_rate() const noexcept {
                           : 0.0;
 }
 
-namespace {
+namespace detail {
 
-/// Folds one worker's counters into the aggregate.  All fields are integer
-/// sums over disjoint trial sets, so the merge is order-insensitive.
 void accumulate(MonteCarloResult& total, const MonteCarloResult& partial) {
   total.trials_with_errors += partial.trials_with_errors;
   total.trials_failed += partial.trials_failed;
@@ -38,7 +34,18 @@ void accumulate(MonteCarloResult& total, const MonteCarloResult& partial) {
   total.miscorrected += partial.miscorrected;
 }
 
-}  // namespace
+util::BitMatrix make_montecarlo_golden(std::size_t n, std::uint64_t base_seed) {
+  util::BitMatrix golden(n, n);
+  util::Rng golden_rng = util::Rng::for_stream(base_seed, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    util::BitVector& row = golden.row(r);
+    for (auto& word : row.words_mutable()) word = golden_rng.next();
+    row.sanitize();
+  }
+  return golden;
+}
+
+}  // namespace detail
 
 MonteCarloResult run_montecarlo(const MonteCarloConfig& config, util::Rng& rng) {
   require_valid(config);
@@ -48,7 +55,6 @@ MonteCarloResult run_montecarlo(const MonteCarloConfig& config, util::Rng& rng) 
   ecc::ArrayCode probe(config.n, config.m);
   const std::size_t check_cells =
       config.include_check_bits ? probe.block_count() * 2 * config.m : 0;
-  const std::size_t population = data_cells + check_cells;
 
   MonteCarloResult result;
   result.trials = config.trials;
@@ -57,147 +63,39 @@ MonteCarloResult run_montecarlo(const MonteCarloConfig& config, util::Rng& rng) 
 
   // One draw from the caller's stream seeds everything below, so the
   // caller's generator advances identically for every thread count (and
-  // identically to reference_run_montecarlo).
+  // identically to reference_run_montecarlo and the fleet engine).
   const std::uint64_t base_seed = rng.next();
 
-  util::BitMatrix golden(config.n, config.n);
-  {
-    util::Rng golden_rng = util::Rng::for_stream(base_seed, 0);
-    for (std::size_t r = 0; r < config.n; ++r) {
-      util::BitVector& row = golden.row(r);
-      for (auto& word : row.words_mutable()) word = golden_rng.next();
-      row.sanitize();
-    }
-  }
+  const util::BitMatrix golden =
+      detail::make_montecarlo_golden(config.n, base_seed);
   ecc::ArrayCode golden_code(config.n, config.m);
   golden_code.encode_all(golden);
-  const std::size_t bps = golden_code.blocks_per_side();
-  const std::size_t mm = config.m;
 
-  // Runs trials [first, last) into `out`.  The worker's (data, code) pair
-  // is initialized to golden state ONCE and reconstituted after every
-  // trial by the undo log, so a trial costs O(flips) regardless of n:
-  //   1. inject (allocation-free record reuse),
-  //   2. scrub only the touched blocks (ArrayCode::scrub_block),
-  //   3. per touched block, residual = injected data flips XOR reported
-  //      data correction; surviving cells are exactly the bits still wrong,
-  //   4. rollback: re-flip the surviving cells, the reported check-bit
-  //      repair, and the injected check flips (XOR cancellation restores
-  //      golden state bit-for-bit).
-  // Untouched blocks stay consistent throughout, so skipping them is
-  // exact, and per-trial substreams make the worker partition irrelevant.
-  auto run_range = [&](std::size_t first, std::size_t last, MonteCarloResult& out) {
-    util::BitMatrix data = golden;
-    ecc::ArrayCode code = golden_code;
-    fault::InjectionRecord record;
-    std::vector<std::size_t> scratch;
-    std::vector<std::size_t> touched;
-    std::vector<std::pair<std::size_t, std::size_t>> residual;
-    for (std::size_t t = first; t < last; ++t) {
-      util::Rng trial_rng = util::Rng::for_stream(base_seed, t + 1);
-      const std::size_t flips =
-          static_cast<std::size_t>(trial_rng.binomial(population, p));
-      if (flips == 0) continue;
-      ++out.trials_with_errors;
-      out.flips_injected += flips;
+  detail::SparseTrialContext ctx;
+  ctx.golden = &golden;
+  ctx.golden_code = &golden_code;
+  ctx.p = p;
+  ctx.population = data_cells + check_cells;
+  ctx.bps = golden_code.blocks_per_side();
+  ctx.m = config.m;
+  ctx.include_check_bits = config.include_check_bits;
 
-      if (config.include_check_bits) {
-        fault::inject_flips_everywhere(trial_rng, data, code, flips, record,
-                                       scratch);
-      } else {
-        fault::inject_data_flips(trial_rng, data, flips, record, scratch);
-      }
-
-      // Which blocks received at least one flip (sorted unique flat ids).
-      touched.clear();
-      for (const fault::DataFlip& f : record.data_flips) {
-        touched.push_back((f.r / mm) * bps + f.c / mm);
-      }
-      for (const fault::CheckFlip& f : record.check_flips) {
-        touched.push_back(f.block_row * bps + f.block_col);
-      }
-      std::sort(touched.begin(), touched.end());
-      touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-      out.blocks_with_errors += touched.size();
-
-      std::size_t failed_blocks_this_trial = 0;
-      for (const std::size_t flat : touched) {
-        const ecc::BlockIndex b{flat / bps, flat % bps};
-        const ecc::BlockRepair repair = code.scrub_block(data, b);
-        switch (repair.status) {
-          case ecc::DecodeStatus::kClean: break;
-          case ecc::DecodeStatus::kCorrectedData: ++out.corrected_data; break;
-          case ecc::DecodeStatus::kCorrectedCheck: ++out.corrected_check; break;
-          case ecc::DecodeStatus::kDetectedUncorrectable:
-            ++out.detected_uncorrectable;
-            break;
-        }
-
-        // Exact residual: every data flip this trial put into block b, plus
-        // the repair's own flip if it corrected a data bit.  Cells listed
-        // twice cancelled out (the repair undid an injected flip); cells
-        // listed once are still wrong.
-        residual.clear();
-        for (const fault::DataFlip& f : record.data_flips) {
-          if (f.r / mm == b.block_row && f.c / mm == b.block_col) {
-            residual.emplace_back(f.r, f.c);
-          }
-        }
-        if (repair.status == ecc::DecodeStatus::kCorrectedData) {
-          residual.emplace_back(repair.data_r, repair.data_c);
-        }
-        std::sort(residual.begin(), residual.end());
-        std::size_t survivors = 0;
-        for (std::size_t i = 0; i < residual.size();) {
-          if (i + 1 < residual.size() && residual[i] == residual[i + 1]) {
-            i += 2;  // injected and repaired: already back at golden
-            continue;
-          }
-          ++survivors;
-          data.flip(residual[i].first, residual[i].second);  // rollback
-          ++i;
-        }
-        if (survivors > 0) {
-          ++failed_blocks_this_trial;
-          // Exact miscorrection verdict: this block's scrub claimed a data
-          // correction, yet the block did not return to golden.
-          if (repair.status == ecc::DecodeStatus::kCorrectedData) {
-            ++out.miscorrected;
-          }
-        }
-
-        // Roll back a check-bit repair (it flipped exactly one stored bit).
-        if (repair.status == ecc::DecodeStatus::kCorrectedCheck) {
-          ecc::CheckBits& bits = code.check_bits_mutable(b);
-          if (repair.check_on_leading_axis) {
-            bits.leading.flip(repair.check_index);
-          } else {
-            bits.counter.flip(repair.check_index);
-          }
-        }
-      }
-
-      // Roll back the injected check flips; combined with the per-block
-      // repair rollbacks above, every check bit has now been flipped an
-      // even number of times and the stored state equals golden again.
-      for (const fault::CheckFlip& f : record.check_flips) {
-        ecc::CheckBits& bits = code.check_bits_mutable({f.block_row, f.block_col});
-        if (f.on_leading_axis) {
-          bits.leading.flip(f.index);
-        } else {
-          bits.counter.flip(f.index);
-        }
-      }
-
-      out.blocks_failed += failed_blocks_this_trial;
-      if (failed_blocks_this_trial > 0) ++out.trials_failed;
-    }
+  // Each lane carries one (data, check) image that equals golden between
+  // trials (run_sparse_trial's rollback contract); trial t always rides
+  // substream t + 1, so the dynamic lane assignment cannot affect any
+  // counter bit.
+  struct Lane {
+    detail::SparseTrialLane state;
+    MonteCarloResult out;
   };
-
-  for (const MonteCarloResult& partial : detail::run_partitioned<MonteCarloResult>(
-           config.trials, config.threads, run_range)) {
-    accumulate(result, partial);
-  }
+  const std::vector<Lane> lanes = detail::run_trial_pool<Lane>(
+      config.trials, config.threads,
+      [&ctx] { return Lane{detail::SparseTrialLane(ctx), {}}; },
+      [&ctx, base_seed](Lane& lane, std::size_t t) {
+        util::Rng trial_rng = util::Rng::for_stream(base_seed, t + 1);
+        detail::run_sparse_trial(ctx, lane.state, trial_rng, lane.out);
+      });
+  for (const Lane& lane : lanes) detail::accumulate(result, lane.out);
   return result;
 }
 

@@ -7,13 +7,16 @@
 // bench_montecarlo_mttf and the reliability tests to confirm the analytic
 // block-failure probabilities.
 //
-// Trials are independent and run on a pool of worker threads.  Determinism
-// is guaranteed by construction: exactly one 64-bit base seed is drawn from
-// the caller's generator, the golden image comes from substream 0 and trial
-// t from substream t+1 (util::Rng::for_stream), and all result fields are
-// commutative integer sums -- so on a given platform the result is
-// bit-identical for any thread count, and the caller's generator advances
-// by the same single draw.  (Across standard libraries the stream differs:
+// Trials are independent and run as dynamic-ticket lanes on the shared
+// work-stealing executor (util/executor.hpp via reliability/parallel.hpp);
+// `threads` caps the lane count, no threads are spawned per call, and a
+// skewed trial occupies one lane while the others drain the rest.
+// Determinism is guaranteed by construction: exactly one 64-bit base seed
+// is drawn from the caller's generator, the golden image comes from
+// substream 0 and trial t from substream t+1 (util::Rng::for_stream), and
+// all result fields are commutative integer sums -- so on a given platform
+// the result is bit-identical for any thread count, and the caller's
+// generator advances by the same single draw.  (Across standard libraries the stream differs:
 // Rng::binomial delegates to std::binomial_distribution, whose algorithm
 // is implementation-defined.)
 //
@@ -50,7 +53,7 @@ struct MonteCarloConfig {
   double window_hours = 24.0;
   std::size_t trials = 1000;
   bool include_check_bits = true;
-  std::size_t threads = 1;  ///< worker threads; 0 = hardware concurrency
+  std::size_t threads = 1;  ///< executor lanes; 0 = full shared-executor width
 };
 
 /// Aggregated outcome.

@@ -1,59 +1,74 @@
 // pimecc -- reliability/parallel.hpp
 //
-// Shared trial-pool scaffolding for the reliability engines: contiguous
-// deterministic partition of [0, trials) over a std::thread pool, with
-// per-worker exception capture rethrown after the join (an exception
-// escaping a std::thread body would call std::terminate).  Because every
-// engine derives each trial's randomness from its own substream, the
-// partition cannot affect any sampled value -- only how work is spread.
-// (reference_reliability.cpp keeps its own frozen copy by design.)
+// Trial-pool scaffolding for the reliability engines, rebuilt on the
+// persistent work-stealing executor (util/executor.hpp).  The historical
+// run_partitioned carved [0, trials) into one contiguous chunk per
+// std::thread spawned fresh for the call -- and silently clamped the
+// thread count by the trial count before any load cost was known, so a
+// single expensive trial serialized the rest of its chunk behind it.
+// run_trial_pool replaces both defects at once: lanes pull single trial
+// indices from a shared atomic ticket counter (dynamic stealing; a slow
+// trial occupies exactly one lane while every other lane drains the rest),
+// and the lanes are executor tasks, so no threads are created per call.
+//
+// Determinism is unchanged from the PR 5 contract: every engine derives a
+// trial's randomness from the trial's own substream and merges either
+// commutative integer sums or per-trial result slots, so which lane runs
+// which trial cannot affect any result bit.  Exceptions thrown by a trial
+// are captured and rethrown after every lane has finished
+// (TaskGroup::wait's rethrow-after-join contract); the remaining trials
+// still run.  (reference_reliability.cpp keeps its own frozen copy of the
+// old spawner by design.)
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
-#include <exception>
-#include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/executor.hpp"
 
 namespace pimecc::rel::detail {
 
-/// Runs `fn(first, last, partial)` over a deterministic contiguous
-/// partition of [0, trials) with `threads` workers (0 = hardware
-/// concurrency, capped by the trial count) and returns one `Partial` per
-/// worker, in worker order.  The caller merges them; for commutative
-/// integer sums the merge is thread-count invariant.
-template <typename Partial, typename Fn>
-std::vector<Partial> run_partitioned(std::size_t trials, std::size_t threads,
-                                     Fn&& fn) {
-  std::size_t n_threads =
-      threads != 0 ? threads
-                   : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  n_threads = std::min<std::size_t>(n_threads, std::max<std::size_t>(trials, 1));
+/// Runs `run_trial(lane_state, t)` once for every t in [0, trials) over a
+/// pool of lanes with dynamic single-trial tickets.  `threads` caps the
+/// lane count (0 = the shared executor's parallelism); lanes never exceed
+/// the trial count because more could not run anyway.  `make_lane()` is
+/// called once per lane, on the calling thread, before any trial runs;
+/// each lane task owns its state exclusively.  Returns the lane states in
+/// lane order for the caller to merge (commutative merges are
+/// thread-count invariant).  threads == 1 runs inline with no executor
+/// traffic, preserving the serial path exactly.
+template <typename Lane, typename MakeLane, typename RunTrial>
+std::vector<Lane> run_trial_pool(std::size_t trials, std::size_t threads,
+                                 MakeLane&& make_lane, RunTrial&& run_trial) {
+  std::size_t lanes =
+      threads != 0 ? threads : util::Executor::shared().parallelism();
+  lanes = std::min(lanes, std::max<std::size_t>(trials, 1));
 
-  std::vector<Partial> partials(n_threads);
-  if (n_threads <= 1) {
-    fn(std::size_t{0}, trials, partials[0]);
-    return partials;
+  std::vector<Lane> lane_states;
+  lane_states.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) lane_states.push_back(make_lane());
+
+  if (lanes <= 1) {
+    for (std::size_t t = 0; t < trials; ++t) run_trial(lane_states[0], t);
+    return lane_states;
   }
-  std::vector<std::exception_ptr> errors(n_threads);
-  std::vector<std::thread> workers;
-  workers.reserve(n_threads);
-  for (std::size_t i = 0; i < n_threads; ++i) {
-    const std::size_t first = trials * i / n_threads;
-    const std::size_t last = trials * (i + 1) / n_threads;
-    workers.emplace_back([&fn, &partials, &errors, i, first, last] {
-      try {
-        fn(first, last, partials[i]);
-      } catch (...) {
-        errors[i] = std::current_exception();
+
+  std::atomic<std::size_t> next{0};
+  util::TaskGroup group(util::Executor::shared());
+  for (std::size_t i = 0; i < lanes; ++i) {
+    group.submit([&next, &run_trial, trials, lane = &lane_states[i]] {
+      for (;;) {
+        const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= trials) return;
+        run_trial(*lane, t);
       }
     });
   }
-  for (std::thread& w : workers) w.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
-  return partials;
+  group.wait();  // helps; rethrows the first trial exception after the join
+  return lane_states;
 }
 
 }  // namespace pimecc::rel::detail

@@ -1,0 +1,114 @@
+#include "reliability/sparse_trial.hpp"
+
+#include <algorithm>
+
+namespace pimecc::rel::detail {
+
+void run_sparse_trial(const SparseTrialContext& ctx, SparseTrialLane& lane,
+                      util::Rng& trial_rng, MonteCarloResult& out) {
+  const std::size_t flips =
+      static_cast<std::size_t>(trial_rng.binomial(ctx.population, ctx.p));
+  if (flips == 0) return;
+  ++out.trials_with_errors;
+  out.flips_injected += flips;
+
+  const std::size_t mm = ctx.m;
+  const std::size_t bps = ctx.bps;
+
+  if (ctx.include_check_bits) {
+    fault::inject_flips_everywhere(trial_rng, lane.data, lane.code, flips,
+                                   lane.record, lane.scratch);
+  } else {
+    fault::inject_data_flips(trial_rng, lane.data, flips, lane.record,
+                             lane.scratch);
+  }
+
+  // Which blocks received at least one flip (sorted unique flat ids).
+  lane.touched.clear();
+  for (const fault::DataFlip& f : lane.record.data_flips) {
+    lane.touched.push_back((f.r / mm) * bps + f.c / mm);
+  }
+  for (const fault::CheckFlip& f : lane.record.check_flips) {
+    lane.touched.push_back(f.block_row * bps + f.block_col);
+  }
+  std::sort(lane.touched.begin(), lane.touched.end());
+  lane.touched.erase(std::unique(lane.touched.begin(), lane.touched.end()),
+                     lane.touched.end());
+  out.blocks_with_errors += lane.touched.size();
+
+  std::size_t failed_blocks_this_trial = 0;
+  for (const std::size_t flat : lane.touched) {
+    const ecc::BlockIndex b{flat / bps, flat % bps};
+    const ecc::BlockRepair repair = lane.code.scrub_block(lane.data, b);
+    switch (repair.status) {
+      case ecc::DecodeStatus::kClean: break;
+      case ecc::DecodeStatus::kCorrectedData: ++out.corrected_data; break;
+      case ecc::DecodeStatus::kCorrectedCheck: ++out.corrected_check; break;
+      case ecc::DecodeStatus::kDetectedUncorrectable:
+        ++out.detected_uncorrectable;
+        break;
+    }
+
+    // Exact residual: every data flip this trial put into block b, plus
+    // the repair's own flip if it corrected a data bit.  Cells listed
+    // twice cancelled out (the repair undid an injected flip); cells
+    // listed once are still wrong.
+    lane.residual.clear();
+    for (const fault::DataFlip& f : lane.record.data_flips) {
+      if (f.r / mm == b.block_row && f.c / mm == b.block_col) {
+        lane.residual.emplace_back(f.r, f.c);
+      }
+    }
+    if (repair.status == ecc::DecodeStatus::kCorrectedData) {
+      lane.residual.emplace_back(repair.data_r, repair.data_c);
+    }
+    std::sort(lane.residual.begin(), lane.residual.end());
+    std::size_t survivors = 0;
+    for (std::size_t i = 0; i < lane.residual.size();) {
+      if (i + 1 < lane.residual.size() &&
+          lane.residual[i] == lane.residual[i + 1]) {
+        i += 2;  // injected and repaired: already back at golden
+        continue;
+      }
+      ++survivors;
+      lane.data.flip(lane.residual[i].first, lane.residual[i].second);  // rollback
+      ++i;
+    }
+    if (survivors > 0) {
+      ++failed_blocks_this_trial;
+      // Exact miscorrection verdict: this block's scrub claimed a data
+      // correction, yet the block did not return to golden.
+      if (repair.status == ecc::DecodeStatus::kCorrectedData) {
+        ++out.miscorrected;
+      }
+    }
+
+    // Roll back a check-bit repair (it flipped exactly one stored bit).
+    if (repair.status == ecc::DecodeStatus::kCorrectedCheck) {
+      ecc::CheckBits& bits = lane.code.check_bits_mutable(b);
+      if (repair.check_on_leading_axis) {
+        bits.leading.flip(repair.check_index);
+      } else {
+        bits.counter.flip(repair.check_index);
+      }
+    }
+  }
+
+  // Roll back the injected check flips; combined with the per-block
+  // repair rollbacks above, every check bit has now been flipped an even
+  // number of times and the stored state equals golden again.
+  for (const fault::CheckFlip& f : lane.record.check_flips) {
+    ecc::CheckBits& bits =
+        lane.code.check_bits_mutable({f.block_row, f.block_col});
+    if (f.on_leading_axis) {
+      bits.leading.flip(f.index);
+    } else {
+      bits.counter.flip(f.index);
+    }
+  }
+
+  out.blocks_failed += failed_blocks_this_trial;
+  if (failed_blocks_this_trial > 0) ++out.trials_failed;
+}
+
+}  // namespace pimecc::rel::detail

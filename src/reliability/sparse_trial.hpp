@@ -1,0 +1,75 @@
+// pimecc -- reliability/sparse_trial.hpp
+//
+// The PR 5 sparse event-driven Monte Carlo trial body, factored out of
+// run_montecarlo so the single-crossbar engine and the fleet engine
+// (fleet_reliability.hpp) execute the IDENTICAL per-trial machinery: a
+// fleet run over S shards x T trials/shard on substreams
+// 1 + s*T + t must be bit-identical, counter for counter, to a flat
+// run_montecarlo over S*T trials -- that equality is the fleet engine's
+// primary cross-check, and it only holds because this file is the single
+// definition of what one trial does.
+//
+// A trial: sample the binomial flip count over the vulnerable population,
+// inject (allocation-free record reuse), repair only the touched blocks
+// (ArrayCode::scrub_block), compute each touched block's exact residual
+// from the injection record plus the reported repair, and roll everything
+// back through the undo log so the lane's (data, check) image equals the
+// shared golden state again -- O(flips) per trial regardless of n.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/array_code.hpp"
+#include "fault/injector.hpp"
+#include "reliability/montecarlo.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/rng.hpp"
+
+namespace pimecc::rel::detail {
+
+/// Immutable per-run context shared by every lane: the golden images plus
+/// the sampled-population geometry.  The golden state outlives every trial
+/// (lanes copy it once and reconstitute it after each trial by rollback).
+struct SparseTrialContext {
+  const util::BitMatrix* golden = nullptr;
+  const ecc::ArrayCode* golden_code = nullptr;
+  double p = 0.0;              ///< per-cell flip probability per window
+  std::size_t population = 0;  ///< data cells + (optionally) check bits
+  std::size_t bps = 0;         ///< blocks per side
+  std::size_t m = 0;
+  bool include_check_bits = true;
+};
+
+/// Mutable lane state: one (data, check) image pair equal to golden
+/// between trials, plus allocation-free scratch reused across trials.
+struct SparseTrialLane {
+  explicit SparseTrialLane(const SparseTrialContext& ctx)
+      : data(*ctx.golden), code(*ctx.golden_code) {}
+
+  util::BitMatrix data;
+  ecc::ArrayCode code;
+  fault::InjectionRecord record;
+  std::vector<std::size_t> scratch;
+  std::vector<std::size_t> touched;
+  std::vector<std::pair<std::size_t, std::size_t>> residual;
+};
+
+/// Runs one sparse trial on `trial_rng`, accumulating into `out` and
+/// leaving `lane` bit-identical to golden again.  Exactly PR 5's
+/// run_montecarlo trial body; see montecarlo.hpp for the counter
+/// semantics (miscorrected is exact here).
+void run_sparse_trial(const SparseTrialContext& ctx, SparseTrialLane& lane,
+                      util::Rng& trial_rng, MonteCarloResult& out);
+
+/// Folds one lane's (or shard's) counters into an aggregate.  All fields
+/// are integer sums over disjoint trial sets, so the merge is
+/// order-insensitive.
+void accumulate(MonteCarloResult& total, const MonteCarloResult& partial);
+
+/// The Monte Carlo golden image discipline shared by the single-crossbar
+/// and fleet engines: substream 0 of `base_seed`, one next() per word.
+[[nodiscard]] util::BitMatrix make_montecarlo_golden(std::size_t n,
+                                                     std::uint64_t base_seed);
+
+}  // namespace pimecc::rel::detail

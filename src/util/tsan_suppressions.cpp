@@ -1,0 +1,30 @@
+// pimecc -- util/tsan_suppressions.cpp
+//
+// Default ThreadSanitizer suppressions, baked into every PIMECC_TSAN
+// binary (the file compiles to nothing in other builds, so the src glob
+// can include it unconditionally).  Must be linked into the executable
+// itself and exported dynamically -- the shared libtsan runtime carries a
+// weak default and calls the hook through the dynamic table, so a strong
+// definition buried in a static archive is never seen.  src/CMakeLists.txt
+// propagates this file as an INTERFACE source of pimecc and the PIMECC_TSAN
+// block adds -Wl,--export-dynamic-symbol for it.
+//
+// signgam: POSIX requires lgamma() to write the global `signgam`, and
+// libstdc++'s std::binomial_distribution calls lgamma while initializing
+// its parameters -- so two lanes drawing binomials concurrently race on
+// that one libm global.  Nothing here ever reads signgam, and forking the
+// documented std::binomial_distribution sampling stream (montecarlo.hpp)
+// just to call lgamma_r instead would re-pin every seeded test, so the
+// race is suppressed at the source instead.
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+
+#if defined(__SANITIZE_THREAD__) || __has_feature(thread_sanitizer)
+
+extern "C" const char* __tsan_default_suppressions();
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:signgam\n";
+}
+
+#endif

@@ -32,6 +32,23 @@ else
   echo "==== toolchain lacks ASan/UBSan runtime; skipping sanitize stage ===="
 fi
 
+# ThreadSanitizer stage: races the work-stealing executor, the fleet bulk
+# operations, and the trial pools (the concurrency-label tests).  TSan can't
+# coexist with ASan in one binary, so this is its own build tree.  Skipped
+# (with a notice) when the toolchain has no TSan runtime.
+tsan_dir="$repo/build-ci-tsan"
+if echo 'int main(){}' | c++ -x c++ -fsanitize=thread -o /dev/null - 2>/dev/null; then
+  echo "==== [TSan] configure ===="
+  cmake -B "$tsan_dir" -S "$repo" -DCMAKE_BUILD_TYPE=Debug -DPIMECC_TSAN=ON \
+    "${cmake_args[@]+"${cmake_args[@]}"}"
+  echo "==== [TSan] build ===="
+  cmake --build "$tsan_dir" -j "$jobs"
+  echo "==== [TSan] test (concurrency label) ===="
+  ctest --test-dir "$tsan_dir" -L concurrency --output-on-failure -j "$jobs"
+else
+  echo "==== toolchain lacks TSan runtime; skipping tsan stage ===="
+fi
+
 release_dir=""
 for config in Debug Release; do
   # tr, not ${config,,}: macOS ships bash 3.2 which lacks case expansion.
@@ -92,6 +109,19 @@ if [[ -n "$release_dir" && -x "$rel_bin" ]]; then
   echo "archived $release_dir/BENCH_reliability.json"
 else
   echo "==== bench_reliability_throughput not built; skipping smoke bench ===="
+fi
+
+# And the fleet layer: the smoke configuration runs the fleet-vs-flat
+# Monte Carlo bit-identity gate at every tested shard/worker count plus the
+# fleet-vs-single-crossbar scrub differential, and exits non-zero on any
+# divergence.
+fleet_bin="$release_dir/bench/bench_fleet_throughput"
+if [[ -n "$release_dir" && -x "$fleet_bin" ]]; then
+  echo "==== [Release] bench_fleet_throughput (smoke) ===="
+  "$fleet_bin" --smoke --out="$release_dir/BENCH_fleet.json"
+  echo "archived $release_dir/BENCH_fleet.json"
+else
+  echo "==== bench_fleet_throughput not built; skipping smoke bench ===="
 fi
 
 echo "==== CI gate passed (Debug + Release) ===="
