@@ -1,0 +1,352 @@
+// Serving harness: measures the batched request engine behind `pimecc
+// serve` and emits machine-readable BENCH_serving.json.
+//
+//   latency_matrix: requests/second plus p50/p99 per-request latency of the
+//   submit -> drain -> take path across a batch-size x lane-count grid, on
+//   a mixed map/run/mttf/sweep workload.  Latency is stamped around the
+//   queue (submit to publication), never inside the engine, which stays
+//   clock-free.
+//
+// Every run first executes the cross-check gate and the process exit
+// status reflects it:
+//   - serve determinism: the formatted responses of the full workload must
+//     be BIT-IDENTICAL at every lane count and batch size tested (a
+//     response is a pure function of its request);
+//   - machine checkpoint continuation: a PimMachine checkpointed
+//     mid-program with its RNG and resumed in a fresh machine must replay
+//     to the identical final state, field for field;
+//   - lifetime resume: a campaign advanced in uneven chunks, serialized
+//     and reloaded between chunks at varying thread counts, must be
+//     bit-identical to the uninterrupted simulate_lifetime run.
+//
+// Usage: bench_serving [--smoke] [--out=PATH]
+//   --smoke    fast CI configuration (small workload, short measurements)
+//   --out=PATH where to write the JSON (default: BENCH_serving.json)
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/checkpoint.hpp"
+#include "arch/pim_machine.hpp"
+#include "reliability/lifetime.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "util/executor.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::vector<pimecc::serve::Request> build_workload(std::size_t count,
+                                                   std::size_t run_n) {
+  using pimecc::serve::Request;
+  using pimecc::serve::RequestKind;
+  std::vector<Request> workload;
+  workload.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Request request;
+    switch (i % 4) {
+      case 0:
+        request.kind = RequestKind::kRun;
+        request.circuit = "ctrl";
+        request.n = run_n;
+        request.m = 15;
+        request.seed = 1 + i;
+        break;
+      case 1:
+        request.kind = RequestKind::kMap;
+        request.circuit = (i % 8 == 1) ? "ctrl" : "cavlc";
+        break;
+      case 2:
+        request.kind = RequestKind::kMttf;
+        request.fit_per_bit = 1e-3 * static_cast<double>(1 + i % 5);
+        break;
+      default:
+        request.kind = RequestKind::kSweep;
+        request.fit_low = 1e-4;
+        request.fit_high = 1e-2;
+        request.points_per_decade = 2;
+        break;
+    }
+    workload.push_back(request);
+  }
+  return workload;
+}
+
+std::vector<std::string> formatted_batch_responses(
+    pimecc::serve::Server& server,
+    const std::vector<pimecc::serve::Request>& workload) {
+  std::vector<std::string> formatted;
+  for (const pimecc::serve::Response& r : server.execute_batch(workload)) {
+    formatted.push_back(pimecc::serve::format_response(r));
+  }
+  return formatted;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pimecc;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_serving [--smoke] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  bool cross_checks_ok = true;
+  const double min_seconds = smoke ? 0.05 : 1.0;
+  const std::size_t workers = util::Executor::shared().worker_count();
+  const std::size_t run_n = smoke ? 60 : 120;
+  const std::size_t workload_size = smoke ? 16 : 64;
+  const std::vector<serve::Request> workload =
+      build_workload(workload_size, run_n);
+
+  // ---------------------------------------- cross-check gate: determinism
+  // Identical formatted responses at every lane count and batch size the
+  // matrix below will time, each server instance cold (own caches).
+  {
+    std::vector<std::string> pinned;
+    for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{0}}) {
+      serve::ServerConfig config;
+      config.lanes = lanes;
+      serve::Server server(config);
+      const auto formatted = formatted_batch_responses(server, workload);
+      for (std::size_t i = 0; i < formatted.size(); ++i) {
+        if (formatted[i].rfind("ok ", 0) != 0) {
+          std::cerr << "workload request " << i
+                    << " FAILED: " << formatted[i] << "\n";
+          cross_checks_ok = false;
+        }
+      }
+      if (pinned.empty()) {
+        pinned = formatted;
+      } else if (formatted != pinned) {
+        std::cerr << "serve determinism cross-check FAILED at lanes=" << lanes
+                  << "\n";
+        cross_checks_ok = false;
+      }
+    }
+    // Batched-through-the-queue path, varying admission size.
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
+      serve::ServerConfig config;
+      config.max_batch = batch;
+      serve::Server server(config);
+      std::vector<std::uint64_t> tickets;
+      for (const serve::Request& request : workload) {
+        tickets.push_back(server.submit(request));
+      }
+      (void)server.drain();
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        if (serve::format_response(server.take(tickets[i])) != pinned[i]) {
+          std::cerr << "queue determinism cross-check FAILED at batch="
+                    << batch << " request " << i << "\n";
+          cross_checks_ok = false;
+        }
+      }
+    }
+  }
+
+  // --------------------------- cross-check gate: machine checkpoint resume
+  // Checkpoint mid-program with the RNG riding along; the resumed machine
+  // replaying identical remaining work must land in the identical state.
+  {
+    arch::ArchParams params;
+    params.n = 60;
+    params.m = 15;
+    auto segment = [](arch::PimMachine& machine, util::Rng& rng) {
+      const std::size_t n = machine.n();
+      util::BitVector row(n);
+      for (int step = 0; step < 8; ++step) {
+        util::fill_random(row, rng);
+        machine.write_row_protected(rng.next() % n, row);
+        machine.inject_data_error(rng.next() % n, rng.next() % n);
+        (void)machine.scrub();
+      }
+    };
+    arch::PimMachine machine(params);
+    util::Rng rng(0x5E41ull);
+    machine.load(util::random_bit_matrix(params.n, params.n, rng));
+    segment(machine, rng);
+    std::stringstream snapshot;
+    arch::save_machine_checkpoint(snapshot, machine, &rng);
+    segment(machine, rng);
+
+    arch::PimMachine resumed(params);
+    util::Rng resumed_rng(1);
+    arch::load_machine_checkpoint(snapshot, resumed, &resumed_rng);
+    segment(resumed, resumed_rng);
+
+    std::stringstream a, b;
+    arch::save_machine_checkpoint(a, machine, &rng);
+    arch::save_machine_checkpoint(b, resumed, &resumed_rng);
+    if (a.str() != b.str()) {
+      std::cerr << "machine checkpoint continuation cross-check FAILED\n";
+      cross_checks_ok = false;
+    }
+  }
+
+  // ------------------------------- cross-check gate: lifetime resume
+  // Uneven serialized chunks at varying thread counts vs one straight run.
+  {
+    rel::LifetimeConfig config;
+    config.n = 60;
+    config.m = 15;
+    config.crossbars = 2;
+    config.fit_per_bit = 5e4;
+    config.trials = smoke ? 24 : 96;
+    config.max_hours = 1e6;
+    util::Rng straight_rng(0xC4EC ^ 0x12ull);
+    const rel::LifetimeResult straight =
+        rel::simulate_lifetime(config, straight_rng);
+
+    util::Rng chunked_rng(0xC4EC ^ 0x12ull);
+    rel::LifetimeProgress progress = rel::begin_lifetime(config, chunked_rng);
+    const std::array<std::size_t, 4> chunks = {5, 1, 11, 0};
+    const std::array<std::size_t, 4> threads = {1, 0, 2, 3};
+    std::size_t step = 0;
+    while (!rel::lifetime_complete(config, progress)) {
+      rel::LifetimeConfig chunk_config = config;
+      chunk_config.threads = threads[step % threads.size()];
+      (void)rel::advance_lifetime(chunk_config, progress,
+                                  chunks[step % chunks.size()]);
+      std::stringstream stream;
+      rel::save_lifetime_checkpoint(stream, config, progress);
+      progress = rel::load_lifetime_checkpoint(stream, config);
+      ++step;
+    }
+    const rel::LifetimeResult resumed = rel::lifetime_result(progress);
+    const auto& s = straight.time_to_failure_hours;
+    const auto& r = resumed.time_to_failure_hours;
+    if (straight.trials != resumed.trials ||
+        straight.failures != resumed.failures ||
+        straight.scrubs_performed != resumed.scrubs_performed ||
+        straight.errors_corrected != resumed.errors_corrected ||
+        s.count() != r.count() || s.sum() != r.sum() || s.min() != r.min() ||
+        s.max() != r.max()) {
+      std::cerr << "lifetime resume cross-check FAILED\n";
+      cross_checks_ok = false;
+    }
+  }
+  std::cout << "cross-checks: " << (cross_checks_ok ? "ok" : "FAILED -- BUG")
+            << "\n";
+
+  // -------------------------------------------------------- latency matrix
+  struct MatrixPoint {
+    std::size_t batch = 0;
+    std::size_t lanes = 0;
+    double requests_per_sec = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+  const std::vector<std::size_t> batch_sweep = {1, 8, 32};
+  const std::vector<std::size_t> lane_sweep =
+      smoke ? std::vector<std::size_t>{1, 0}
+            : std::vector<std::size_t>{1, 2, 0};
+  std::vector<MatrixPoint> matrix;
+  for (const std::size_t batch : batch_sweep) {
+    for (const std::size_t lanes : lane_sweep) {
+      serve::ServerConfig config;
+      config.max_batch = batch;
+      config.lanes = lanes;
+      serve::Server server(config);
+      // Warm the caches once so the matrix measures serving, not the
+      // first-touch circuit/program builds.
+      (void)server.execute_batch(workload);
+
+      std::vector<double> latencies_ms;
+      std::size_t served = 0;
+      const auto start = Clock::now();
+      double elapsed = 0.0;
+      std::size_t cursor = 0;
+      do {
+        std::vector<std::uint64_t> tickets;
+        std::vector<Clock::time_point> submitted;
+        for (std::size_t b = 0; b < batch; ++b) {
+          submitted.push_back(Clock::now());
+          tickets.push_back(
+              server.submit(workload[cursor++ % workload.size()]));
+        }
+        (void)server.drain_once();
+        const auto published = Clock::now();
+        for (std::size_t b = 0; b < batch; ++b) {
+          (void)server.take(tickets[b]);
+          latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(published -
+                                                        submitted[b])
+                  .count());
+        }
+        served += batch;
+        elapsed = seconds_since(start);
+      } while (elapsed < min_seconds);
+
+      MatrixPoint point;
+      point.batch = batch;
+      point.lanes = lanes;
+      point.requests_per_sec = static_cast<double>(served) / elapsed;
+      point.p50_ms = util::percentile(latencies_ms, 50.0);
+      point.p99_ms = util::percentile(latencies_ms, 99.0);
+      matrix.push_back(point);
+      std::cout << "serve batch=" << batch << " lanes=" << lanes << ": "
+                << fmt(point.requests_per_sec) << " req/s, p50 "
+                << fmt(point.p50_ms) << " ms, p99 " << fmt(point.p99_ms)
+                << " ms\n";
+    }
+  }
+
+  // ------------------------------------------------------------------ JSON
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"schema\": \"pimecc-bench-serving/1\",\n"
+       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"cross_checks_ok\": " << (cross_checks_ok ? "true" : "false")
+       << ",\n"
+       << "  \"executor\": {\"workers\": " << workers
+       << ", \"parallelism\": " << (workers + 1) << "},\n"
+       << "  \"workload\": {\"requests\": " << workload.size()
+       << ", \"run_n\": " << run_n << "},\n"
+       << "  \"latency_matrix\": [\n";
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const MatrixPoint& point = matrix[i];
+    json << "    {\"batch\": " << point.batch << ", \"lanes\": " << point.lanes
+         << ", \"requests_per_sec\": " << fmt(point.requests_per_sec)
+         << ", \"p50_ms\": " << fmt(point.p50_ms)
+         << ", \"p99_ms\": " << fmt(point.p99_ms) << "}"
+         << (i + 1 < matrix.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return cross_checks_ok ? 0 : 1;
+}

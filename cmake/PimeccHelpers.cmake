@@ -69,6 +69,27 @@ function(pimecc_add_bench name)
   add_dependencies(benches ${name})
 endfunction()
 
+# pimecc_add_cli_test(<name> EXIT <code> [MATCH <regex>] COMMAND <target> [args...])
+#
+# Registers a ctest entry (labels "unit;cli") that runs the target binary
+# with the given arguments and asserts the exact exit status -- a crash
+# (signal death) never matches a numeric code, unlike WILL_FAIL -- plus an
+# optional regex over combined stdout+stderr.  See cmake/RunCliTest.cmake.
+function(pimecc_add_cli_test name)
+  cmake_parse_arguments(PCT "" "EXIT;MATCH" "COMMAND" ${ARGN})
+  if(NOT DEFINED PCT_EXIT OR NOT PCT_COMMAND)
+    message(FATAL_ERROR "pimecc_add_cli_test: EXIT and COMMAND are required")
+  endif()
+  list(POP_FRONT PCT_COMMAND cli_target)
+  add_test(NAME cli.${name} COMMAND ${CMAKE_COMMAND}
+    -DCLI_COMMAND=$<TARGET_FILE:${cli_target}>
+    "-DCLI_ARGS=${PCT_COMMAND}"
+    -DEXPECT_EXIT=${PCT_EXIT}
+    "-DEXPECT_MATCH=${PCT_MATCH}"
+    -P "${PROJECT_SOURCE_DIR}/cmake/RunCliTest.cmake")
+  set_tests_properties(cli.${name} PROPERTIES LABELS "unit;cli" TIMEOUT 120)
+endfunction()
+
 # pimecc_add_example(<name> [SOURCES <files...>] [SMOKE] [SMOKE_ARGS <args...>])
 #
 # Builds examples/<name>.cpp.  With SMOKE, also registers the binary as a

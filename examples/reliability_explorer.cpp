@@ -4,24 +4,65 @@
 //   reliability_explorer [fit_per_bit] [period_hours] [n] [m] [memory_gib]
 //
 // Defaults reproduce the paper's case study: 1e-3 FIT/bit, T=24h, n=1020,
-// m=15, 1 GiB.
+// m=15, 1 GiB.  Arguments are strictly validated (util/parse): a malformed
+// value prints a usage error and exits 1 instead of being silently coerced
+// to 0 by atof/atoll (which then fails deep inside the model math).
 #include <cstdlib>
 #include <iostream>
 
 #include "reliability/analytic.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+void explorer_usage() {
+  std::cerr << "usage: reliability_explorer [fit_per_bit] [period_hours] "
+               "[n] [m] [memory_gib]\n";
+}
+
+double require_double(const char* what, const char* text) {
+  const auto parsed = pimecc::util::parse_double(text);
+  if (!parsed) {
+    std::cerr << "reliability_explorer: bad " << what << " '" << text
+              << "' (want a finite number)\n";
+    explorer_usage();
+    std::exit(1);
+  }
+  return *parsed;
+}
+
+std::size_t require_size(const char* what, const char* text) {
+  const auto parsed = pimecc::util::parse_size(text);
+  if (!parsed || *parsed == 0) {
+    std::cerr << "reliability_explorer: bad " << what << " '" << text
+              << "' (want a positive integer)\n";
+    explorer_usage();
+    std::exit(1);
+  }
+  return *parsed;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pimecc;
 
   rel::ReliabilityQuery query;
-  if (argc > 1) query.fit_per_bit = std::atof(argv[1]);
-  if (argc > 2) query.check_period_hours = std::atof(argv[2]);
-  if (argc > 3) query.n = static_cast<std::size_t>(std::atoll(argv[3]));
-  if (argc > 4) query.m = static_cast<std::size_t>(std::atoll(argv[4]));
+  if (argc > 1) query.fit_per_bit = require_double("fit_per_bit", argv[1]);
+  if (argc > 2) {
+    query.check_period_hours = require_double("period_hours", argv[2]);
+  }
+  if (argc > 3) query.n = require_size("n", argv[3]);
+  if (argc > 4) query.m = require_size("m", argv[4]);
   if (argc > 5) {
+    const double gib = require_double("memory_gib", argv[5]);
+    if (gib <= 0.0) {
+      std::cerr << "reliability_explorer: memory_gib must be positive\n";
+      return 1;
+    }
     query.memory_bits =
-        static_cast<std::uint64_t>(std::atof(argv[5]) * 8.0 * 1024 * 1024 * 1024);
+        static_cast<std::uint64_t>(gib * 8.0 * 1024 * 1024 * 1024);
   }
 
   std::cout << "design point: SER=" << util::format_sci(query.fit_per_bit, 2)

@@ -1,0 +1,43 @@
+// pimecc -- arch/checkpoint.hpp
+//
+// Machine checkpoints: the complete PimMachine state (MEM image, per-block
+// check bits, both counter sets) plus an optional RNG stream position, in
+// the util/serialize chunk format.  A checkpoint taken mid-program restores
+// into a machine with identical ArchParams and continues bit-identically --
+// contents, check state, counters and all -- which is what makes long
+// fault-injection and lifetime runs resumable (pinned by
+// tests/test_checkpoint.cpp).
+//
+// Restoring is strictly validate-before-mutate: the whole payload is parsed
+// and cross-checked against the target machine's parameters before any
+// state is touched, so a truncated, corrupt, or geometry-mismatched file
+// throws util::SerializeError and leaves the machine exactly as it was.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "arch/pim_machine.hpp"
+#include "util/rng.hpp"
+
+namespace pimecc::arch {
+
+/// Current machine-checkpoint format version (chunk magic "PIMECCMC").
+inline constexpr std::uint32_t kMachineCheckpointVersion = 1;
+
+/// Writes one checkpoint chunk for `machine`.  When `rng` is non-null its
+/// stream position rides along, so a simulation loop can resume its random
+/// sequence exactly where it left off.
+void save_machine_checkpoint(std::ostream& os, const PimMachine& machine,
+                             const util::Rng* rng = nullptr);
+
+/// Reads one checkpoint chunk and restores it into `machine`, whose
+/// ArchParams must equal the saved fingerprint field-for-field (a
+/// checkpoint is a continuation, not a migration).  When `rng` is non-null
+/// the saved stream position is restored into it; a checkpoint saved
+/// without an RNG state then throws.  Throws util::SerializeError on any
+/// defect, before mutating anything.
+void load_machine_checkpoint(std::istream& is, PimMachine& machine,
+                             util::Rng* rng = nullptr);
+
+}  // namespace pimecc::arch

@@ -24,6 +24,26 @@ void PimMachine::load(const util::BitMatrix& image) {
   counters_.mem_cycles = mem_.cycles();
 }
 
+void PimMachine::restore(const util::BitMatrix& data, const ecc::ArrayCode& code,
+                         const MachineCounters& counters,
+                         const xbar::Crossbar::Counters& mem_counters) {
+  if (data.rows() != n() || data.cols() != n()) {
+    throw std::invalid_argument("PimMachine::restore: data must be n x n");
+  }
+  if (code.n() != n() || code.m() != m()) {
+    throw std::invalid_argument(
+        "PimMachine::restore: check-code geometry mismatch");
+  }
+  // Direct state replacement, no controller writes and no re-encode: the
+  // snapshot's counters already account for everything that produced this
+  // state, and the check bits must come back verbatim (they may be
+  // intentionally inconsistent, e.g. mid-fault-injection).
+  mem_.contents_mutable() = data;
+  code_ = code;
+  mem_.restore_counters(mem_counters);
+  counters_ = counters;
+}
+
 void PimMachine::update_check_bits_for_line(bool along_rows, std::size_t line,
                                             const util::BitVector& delta) {
   code_.apply_line_delta(along_rows, line, delta);

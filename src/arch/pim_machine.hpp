@@ -126,6 +126,22 @@ class PimMachine {
   /// The check-bit state (functional view of the CMEM contents).
   [[nodiscard]] const ecc::ArrayCode& check_code() const noexcept { return code_; }
 
+  // --- checkpointing (arch/checkpoint.hpp) ---------------------------------
+  /// MEM crossbar counter snapshot: the machine's mem_cycles accounting is
+  /// derived from the crossbar's own counter, so checkpoints must carry it.
+  [[nodiscard]] xbar::Crossbar::Counters mem_counters() const noexcept {
+    return mem_.counters();
+  }
+  /// Replaces the complete machine state with a previously captured
+  /// snapshot: MEM image, check bits (taken verbatim -- they may be
+  /// deliberately inconsistent with the data, e.g. under injected faults),
+  /// and both counter sets.  Validates every shape against this machine's
+  /// geometry *before* mutating anything, so a throwing restore leaves the
+  /// machine untouched.
+  void restore(const util::BitMatrix& data, const ecc::ArrayCode& code,
+               const MachineCounters& counters,
+               const xbar::Crossbar::Counters& mem_counters);
+
  private:
   /// Runs protocol steps 1+3 for a line write, differentially: `delta` is
   /// old XOR new of the written line.  `along_rows` true means the written

@@ -9,6 +9,7 @@
 #include "reliability/analytic.hpp"
 #include "reliability/config_checks.hpp"
 #include "reliability/parallel.hpp"
+#include "util/serialize.hpp"
 #include "util/units.hpp"
 
 namespace pimecc::rel {
@@ -55,25 +56,32 @@ std::uint64_t positive_binomial(util::Rng& rng, std::uint64_t n, double p,
   return k;
 }
 
-}  // namespace
+/// Quantities every trial shares, derived once per advance_lifetime call
+/// (pure function of the config, so chunked runs re-derive identical
+/// values).
+struct Derived {
+  std::size_t total_blocks = 0;
+  std::uint64_t total_cells = 0;
+  std::uint64_t total_windows = 0;
+  double p_window = 0.0;
+  double log_q0 = 0.0;  ///< log P(window empty)
+  double s = 0.0;       ///< P(window non-empty)
+};
 
-LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
-  require_valid(config);
+Derived derive(const LifetimeConfig& config) {
+  Derived d;
   const std::size_t blocks_per_side = config.n / config.m;
-  const std::size_t blocks_per_xbar = blocks_per_side * blocks_per_side;
-  const std::size_t total_blocks = blocks_per_xbar * config.crossbars;
+  d.total_blocks = blocks_per_side * blocks_per_side * config.crossbars;
   const std::size_t cells_per_block =
       config.m * config.m + (config.include_check_bits ? 2 * config.m : 0);
-  const double p_window = util::error_probability(config.fit_per_bit,
-                                                  config.scrub_period_hours);
-  const std::uint64_t total_cells =
-      static_cast<std::uint64_t>(total_blocks) * cells_per_block;
+  d.total_cells = static_cast<std::uint64_t>(d.total_blocks) * cells_per_block;
+  d.p_window = util::error_probability(config.fit_per_bit,
+                                       config.scrub_period_hours);
 
   // Window count of the horizon, replicating the reference walker's
   // accumulated-sum loop bit-for-bit (a closed-form ceil could disagree
   // with `hours += period` rounding on awkward period values, and the
   // zero-rate scrub accounting is pinned exactly against the reference).
-  std::uint64_t total_windows = 0;
   for (double hours = 0.0; hours < config.max_hours;
        hours += config.scrub_period_hours) {
     if (hours + config.scrub_period_hours == hours) {
@@ -81,26 +89,51 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
       throw std::invalid_argument(
           "simulate_lifetime: scrub period underflows the horizon");
     }
-    ++total_windows;
+    ++d.total_windows;
   }
 
-  LifetimeResult result;
-  result.trials = config.trials;
-
   // P(window non-empty) = 1 - (1-p)^cells, in log space for tiny p.
-  const double log_q0 =
-      p_window >= 1.0 ? -std::numeric_limits<double>::infinity()
-                      : static_cast<double>(total_cells) * std::log1p(-p_window);
-  const double s = -std::expm1(log_q0);
+  d.log_q0 = d.p_window >= 1.0
+                 ? -std::numeric_limits<double>::infinity()
+                 : static_cast<double>(d.total_cells) * std::log1p(-d.p_window);
+  d.s = -std::expm1(d.log_q0);
+  return d;
+}
 
+}  // namespace
+
+LifetimeProgress begin_lifetime(const LifetimeConfig& config, util::Rng& rng) {
+  require_valid(config);
+  // Reject degenerate horizon/period combinations before touching `rng`,
+  // preserving simulate_lifetime's historical throw-before-draw behavior.
+  (void)derive(config);
+  LifetimeProgress progress;
   // One draw seeds all per-trial substreams (trial t -> stream t), so the
   // caller's generator advances identically for every thread count.
-  const std::uint64_t base_seed = rng.next();
+  progress.base_seed = rng.next();
+  return progress;
+}
+
+std::size_t advance_lifetime(const LifetimeConfig& config,
+                             LifetimeProgress& progress,
+                             std::size_t max_trials) {
+  require_valid(config);
+  if (progress.ttf_hours.size() != progress.trials_done) {
+    throw std::invalid_argument(
+        "advance_lifetime: progress.ttf_hours out of sync with trials_done");
+  }
+  if (progress.trials_done >= config.trials) return 0;
+  const std::size_t remaining = config.trials - progress.trials_done;
+  const std::size_t count =
+      max_trials == 0 ? remaining : std::min(max_trials, remaining);
+  const Derived d = derive(config);
+  const std::size_t start = progress.trials_done;
+  const std::uint64_t base_seed = progress.base_seed;
 
   // Per-trial TTF (negative = survived), filled into the trial's own slot
-  // by whichever lane runs it and folded into the RunningStats in trial
+  // by whichever lane runs it and appended to the progress vector in trial
   // order after the join -- bit-identical statistics for any thread count.
-  std::vector<double> ttf(config.trials, -1.0);
+  std::vector<double> ttf(count, -1.0);
 
   // Lane state: commutative counter sums plus reusable scratch.  Trial t
   // always rides substream t, so the dynamic lane assignment cannot
@@ -112,10 +145,11 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
     std::vector<std::size_t> hit_blocks;
   };
 
-  auto run_trial = [&](Lane& out, std::size_t trial) {
+  auto run_trial = [&](Lane& out, std::size_t t) {
+    const std::size_t trial = start + t;  // absolute trial = substream index
     util::Rng trial_rng = util::Rng::for_stream(base_seed, trial);
-    if (s <= 0.0) {  // no events can ever land: every window is empty
-      out.scrubs += total_windows;
+    if (d.s <= 0.0) {  // no events can ever land: every window is empty
+      out.scrubs += d.total_windows;
       return;
     }
     std::uint64_t window = 0;  // 1-based index of the last window handled
@@ -123,11 +157,11 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
     while (!failed) {
       // Jump straight to the next non-empty window: `gap` empty windows,
       // then one carrying >= 1 hit.
-      const std::uint64_t gap = trial_rng.geometric(s);
-      if (gap >= total_windows || window + gap >= total_windows) break;
+      const std::uint64_t gap = trial_rng.geometric(d.s);
+      if (gap >= d.total_windows || window + gap >= d.total_windows) break;
       window += gap + 1;
-      const std::uint64_t hits =
-          positive_binomial(trial_rng, total_cells, p_window, s, log_q0);
+      const std::uint64_t hits = positive_binomial(trial_rng, d.total_cells,
+                                                   d.p_window, d.s, d.log_q0);
       if (hits == 1) {
         ++out.corrected;
         continue;
@@ -137,7 +171,7 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
       out.hit_blocks.clear();
       for (std::uint64_t h = 0; h < hits; ++h) {
         out.hit_blocks.push_back(
-            static_cast<std::size_t>(trial_rng.uniform_below(total_blocks)));
+            static_cast<std::size_t>(trial_rng.uniform_below(d.total_blocks)));
       }
       std::sort(out.hit_blocks.begin(), out.hit_blocks.end());
       for (std::size_t i = 0; i + 1 < out.hit_blocks.size(); ++i) {
@@ -151,27 +185,121 @@ LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
     if (failed) {
       ++out.failures;
       out.scrubs += window;  // the failing scrub is the last one performed
-      ttf[trial] = static_cast<double>(window) * config.scrub_period_hours;
+      ttf[t] = static_cast<double>(window) * config.scrub_period_hours;
     } else {
-      out.scrubs += total_windows;  // survived: every window was scrubbed
+      out.scrubs += d.total_windows;  // survived: every window was scrubbed
     }
   };
 
-  Lane total;
   for (const Lane& partial : detail::run_trial_pool<Lane>(
-           config.trials, config.threads, [] { return Lane{}; }, run_trial)) {
-    total.scrubs += partial.scrubs;
-    total.corrected += partial.corrected;
-    total.failures += partial.failures;
+           count, config.threads, [] { return Lane{}; }, run_trial)) {
+    progress.scrubs_performed += partial.scrubs;
+    progress.errors_corrected += partial.corrected;
+    progress.failures += partial.failures;
   }
+  progress.ttf_hours.insert(progress.ttf_hours.end(), ttf.begin(), ttf.end());
+  progress.trials_done += count;
+  return count;
+}
 
-  result.scrubs_performed = total.scrubs;
-  result.errors_corrected = total.corrected;
-  result.failures = total.failures;
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    if (ttf[trial] >= 0.0) result.time_to_failure_hours.add(ttf[trial]);
+LifetimeResult lifetime_result(const LifetimeProgress& progress) {
+  LifetimeResult result;
+  result.trials = progress.trials_done;
+  result.failures = progress.failures;
+  result.scrubs_performed = progress.scrubs_performed;
+  result.errors_corrected = progress.errors_corrected;
+  for (const double ttf : progress.ttf_hours) {
+    if (ttf >= 0.0) result.time_to_failure_hours.add(ttf);
   }
   return result;
+}
+
+namespace {
+
+const std::uint64_t kLifetimeMagic = util::chunk_magic("PIMECCLT");
+constexpr std::uint32_t kLifetimeVersion = 1;
+
+}  // namespace
+
+void save_lifetime_checkpoint(std::ostream& os, const LifetimeConfig& config,
+                              const LifetimeProgress& progress) {
+  if (progress.ttf_hours.size() != progress.trials_done) {
+    throw std::invalid_argument(
+        "save_lifetime_checkpoint: progress.ttf_hours out of sync");
+  }
+  util::ByteWriter w;
+  // Config fingerprint -- everything that shapes the distribution.
+  // `threads` is deliberately excluded: the determinism contract makes it
+  // a pure performance knob, and a checkpoint must be resumable on a
+  // machine with a different core count.
+  w.u64(config.n);
+  w.u64(config.m);
+  w.u64(config.crossbars);
+  w.f64(config.fit_per_bit);
+  w.f64(config.scrub_period_hours);
+  w.u64(config.trials);
+  w.f64(config.max_hours);
+  w.u8(config.include_check_bits ? 1 : 0);
+
+  w.u64(progress.base_seed);
+  w.u64(progress.trials_done);
+  w.u64(progress.failures);
+  w.u64(progress.scrubs_performed);
+  w.u64(progress.errors_corrected);
+  for (const double ttf : progress.ttf_hours) w.f64(ttf);
+
+  util::write_chunk(os, kLifetimeMagic, kLifetimeVersion, w.data());
+}
+
+LifetimeProgress load_lifetime_checkpoint(std::istream& is,
+                                          const LifetimeConfig& config) {
+  const util::Chunk chunk = util::read_chunk(is, kLifetimeMagic,
+                                             kLifetimeVersion);
+  util::ByteReader r(chunk.payload);
+  const bool same =
+      r.u64() == config.n && r.u64() == config.m &&
+      r.u64() == config.crossbars && r.f64() == config.fit_per_bit &&
+      r.f64() == config.scrub_period_hours && r.u64() == config.trials &&
+      r.f64() == config.max_hours &&
+      r.u8() == (config.include_check_bits ? 1 : 0);
+  if (!same) {
+    throw util::SerializeError(
+        "lifetime checkpoint configuration mismatch (saved for a different "
+        "campaign)");
+  }
+
+  LifetimeProgress progress;
+  progress.base_seed = r.u64();
+  progress.trials_done = static_cast<std::size_t>(r.u64());
+  progress.failures = static_cast<std::size_t>(r.u64());
+  progress.scrubs_performed = r.u64();
+  progress.errors_corrected = r.u64();
+  if (progress.trials_done > config.trials ||
+      progress.failures > progress.trials_done) {
+    throw util::SerializeError("lifetime checkpoint progress out of range");
+  }
+  progress.ttf_hours.reserve(progress.trials_done);
+  std::size_t observed_failures = 0;
+  for (std::size_t t = 0; t < progress.trials_done; ++t) {
+    const double ttf = r.f64();
+    if (std::isnan(ttf)) {
+      throw util::SerializeError("lifetime checkpoint TTF is NaN");
+    }
+    if (ttf >= 0.0) ++observed_failures;
+    progress.ttf_hours.push_back(ttf);
+  }
+  if (observed_failures != progress.failures) {
+    throw util::SerializeError(
+        "lifetime checkpoint failure count disagrees with per-trial TTFs");
+  }
+  r.require_exhausted();
+  return progress;
+}
+
+LifetimeResult simulate_lifetime(const LifetimeConfig& config, util::Rng& rng) {
+  LifetimeProgress progress = begin_lifetime(config, rng);
+  advance_lifetime(config, progress);
+  return lifetime_result(progress);
 }
 
 double analytic_mttf_hours(const LifetimeConfig& config) {

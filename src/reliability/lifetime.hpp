@@ -26,6 +26,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -63,8 +65,63 @@ struct LifetimeResult {
   [[nodiscard]] double empirical_mttf_hours(double horizon) const noexcept;
 };
 
+/// Running state of a campaign, resumable at any trial boundary.  Because
+/// trial t rides its own for_stream substream, the first `trials_done`
+/// trials are a closed set: no random draw of a later trial depends on
+/// them, so a campaign advanced in chunks (possibly serialized to disk and
+/// reloaded between chunks, possibly at a different thread count) produces
+/// results bit-identical to one uninterrupted run.
+struct LifetimeProgress {
+  std::uint64_t base_seed = 0;   ///< seeds substream t for trial t
+  std::size_t trials_done = 0;   ///< trials completed so far
+  std::size_t failures = 0;
+  std::uint64_t scrubs_performed = 0;
+  std::uint64_t errors_corrected = 0;
+  /// Per-trial time to failure in hours for trials [0, trials_done);
+  /// negative means the trial survived the horizon.
+  std::vector<double> ttf_hours;
+};
+
+/// Starts a campaign: validates `config` and draws exactly ONE value from
+/// `rng` (the base seed), just like simulate_lifetime.
+[[nodiscard]] LifetimeProgress begin_lifetime(const LifetimeConfig& config,
+                                              util::Rng& rng);
+
+/// Runs up to `max_trials` more trials (0 = all remaining) on the shared
+/// executor and folds them into `progress`.  Returns the number of trials
+/// actually run.  `config` must be the campaign's own configuration --
+/// except `threads`, which may vary freely between calls without changing
+/// any result bit.
+std::size_t advance_lifetime(const LifetimeConfig& config,
+                             LifetimeProgress& progress,
+                             std::size_t max_trials = 0);
+
+[[nodiscard]] inline bool lifetime_complete(
+    const LifetimeConfig& config, const LifetimeProgress& progress) noexcept {
+  return progress.trials_done >= config.trials;
+}
+
+/// Folds `progress` into the campaign outcome (over the trials completed so
+/// far; `result.trials` is progress.trials_done).
+[[nodiscard]] LifetimeResult lifetime_result(const LifetimeProgress& progress);
+
+/// Writes one resumable-campaign chunk (magic "PIMECCLT"): the config
+/// fingerprint (minus `threads`) plus the full LifetimeProgress.
+void save_lifetime_checkpoint(std::ostream& os, const LifetimeConfig& config,
+                              const LifetimeProgress& progress);
+
+/// Reads a campaign chunk and validates it against `config`: every field
+/// but `threads` must match the saved fingerprint bit-for-bit (resuming
+/// under a different configuration would silently mix distributions).
+/// Throws util::SerializeError on any defect; never returns partial state.
+[[nodiscard]] LifetimeProgress load_lifetime_checkpoint(
+    std::istream& is, const LifetimeConfig& config);
+
 /// Runs the campaign with the skip-ahead engine.  Draws exactly one value
 /// from `rng`; see the file comment for the determinism contract.
+/// Equivalent by construction to begin_lifetime + advance_lifetime(all) +
+/// lifetime_result -- the chunked and uninterrupted paths share this one
+/// code path, which is what the checkpoint/resume bit-identity tests pin.
 [[nodiscard]] LifetimeResult simulate_lifetime(const LifetimeConfig& config,
                                                util::Rng& rng);
 

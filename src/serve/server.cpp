@@ -1,0 +1,212 @@
+#include "serve/server.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "reliability/analytic.hpp"
+#include "simpler/protected_vm.hpp"
+#include "util/executor.hpp"
+#include "util/rng.hpp"
+
+namespace pimecc::serve {
+
+Server::Server(ServerConfig config) : config_(config) {
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("Server: max_batch must be >= 1");
+  }
+}
+
+namespace {
+
+std::uint64_t gib_to_bits(double gib) {
+  if (!(gib > 0.0) || gib > 1024.0) {
+    throw std::invalid_argument("memory size (GiB) out of range (0, 1024]");
+  }
+  return static_cast<std::uint64_t>(std::llround(gib * 8589934592.0));  // 2^33
+}
+
+}  // namespace
+
+Response Server::handle(const Request& request) {
+  Response response;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case RequestKind::kMap: {
+      arch::ArchParams params;
+      params.n = request.n;
+      params.m = request.m;
+      params.num_pcs = request.pcs;
+      params.validate();
+      const auto program = registry_.program(request.circuit, request.row_width);
+      const simpler::EccScheduleResult sched =
+          simpler::schedule_with_ecc(*program, params, request.coverage);
+      response.baseline_cycles = sched.baseline_cycles;
+      response.proposed_cycles = sched.proposed_cycles;
+      response.stall_cycles = sched.stall_cycles;
+      response.overhead = sched.overhead_fraction();
+      if (request.min_pcs) {
+        response.min_pcs =
+            simpler::find_min_pcs(*program, params, request.coverage);
+      }
+      break;
+    }
+    case RequestKind::kRun: {
+      const auto spec = registry_.circuit(request.circuit);
+      const auto program = registry_.program(request.circuit, request.n);
+      auto lease = registry_.acquire_machine(request.n, request.m);
+      arch::PimMachine& machine = lease.machine();
+      // The response is a pure function of the request: the explicit seed
+      // drives both the resident image and the per-lane inputs.
+      util::Rng rng(request.seed);
+      machine.load(util::random_bit_matrix(machine.n(), machine.n(), rng));
+      const util::BitMatrix inputs = util::random_bit_matrix(
+          machine.n(), spec->netlist.num_inputs(), rng);
+      const simpler::ProtectedRunResult run = simpler::run_program_protected(
+          machine, spec->netlist, *program, inputs);
+      response.lanes = machine.n();
+      response.corrections = run.input_check_corrections;
+      response.ecc_consistent = run.ecc_consistent_after;
+      for (std::size_t r = 0; r < machine.n(); ++r) {
+        if (!(spec->reference(inputs.row(r)) == run.outputs.row(r))) {
+          ++response.mismatches;
+        }
+      }
+      break;
+    }
+    case RequestKind::kMttf: {
+      rel::ReliabilityQuery query;
+      query.fit_per_bit = request.fit_per_bit;
+      query.check_period_hours = request.period_hours;
+      query.n = request.n;
+      query.m = request.m;
+      query.memory_bits = gib_to_bits(request.memory_gib);
+      response.baseline_mttf_hours = rel::evaluate_baseline(query).mttf_hours;
+      response.proposed_mttf_hours = rel::evaluate_proposed(query).mttf_hours;
+      response.improvement =
+          response.baseline_mttf_hours > 0.0
+              ? response.proposed_mttf_hours / response.baseline_mttf_hours
+              : 0.0;
+      break;
+    }
+    case RequestKind::kSweep: {
+      rel::ReliabilityQuery base;
+      base.fit_per_bit = request.fit_per_bit;
+      base.check_period_hours = request.period_hours;
+      base.n = request.n;
+      base.m = request.m;
+      base.memory_bits = gib_to_bits(request.memory_gib);
+      const std::vector<rel::SweepPoint> points = rel::sweep_mttf(
+          base, request.fit_low, request.fit_high, request.points_per_decade);
+      response.sweep_points = points.size();
+      bool first = true;
+      for (const rel::SweepPoint& point : points) {
+        const double improvement = point.improvement();
+        if (first || improvement < response.min_improvement) {
+          response.min_improvement = improvement;
+        }
+        if (first || improvement > response.max_improvement) {
+          response.max_improvement = improvement;
+        }
+        first = false;
+      }
+      break;
+    }
+  }
+  response.ok = true;
+  return response;
+}
+
+Response Server::execute(const Request& request) {
+  try {
+    return handle(request);
+  } catch (const std::exception& e) {
+    Response response;
+    response.kind = request.kind;
+    response.ok = false;
+    response.error = e.what();
+    return response;
+  }
+}
+
+std::vector<Response> Server::execute_batch(std::span<const Request> requests) {
+  std::vector<Response> responses(requests.size());
+  util::parallel_for(util::Executor::shared(), requests.size(), config_.lanes,
+                     [&](std::size_t i) { responses[i] = execute(requests[i]); });
+  return responses;
+}
+
+std::uint64_t Server::submit(Request request) {
+  std::unique_lock lock(mutex_);
+  if (closed_) throw std::runtime_error("Server::submit: server is closed");
+  const std::uint64_t ticket = next_ticket_++;
+  queue_.emplace_back(ticket, std::move(request));
+  return ticket;
+}
+
+std::size_t Server::drain_once() {
+  std::vector<std::uint64_t> tickets;
+  std::vector<Request> batch;
+  {
+    std::unique_lock lock(mutex_);
+    while (!queue_.empty() && batch.size() < config_.max_batch) {
+      tickets.push_back(queue_.front().first);
+      batch.push_back(std::move(queue_.front().second));
+      queue_.pop_front();
+    }
+  }
+  if (batch.empty()) return 0;
+  std::vector<Response> responses = execute_batch(batch);
+  {
+    std::unique_lock lock(mutex_);
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      responses_.emplace(tickets[i], std::move(responses[i]));
+    }
+  }
+  published_cv_.notify_all();
+  return batch.size();
+}
+
+std::size_t Server::drain() {
+  std::size_t served = 0;
+  for (std::size_t batch = drain_once(); batch != 0; batch = drain_once()) {
+    served += batch;
+  }
+  return served;
+}
+
+Response Server::take(std::uint64_t ticket) {
+  std::unique_lock lock(mutex_);
+  if (ticket >= next_ticket_) {
+    throw std::runtime_error("Server::take: unknown ticket");
+  }
+  published_cv_.wait(lock, [&] {
+    return responses_.count(ticket) != 0 || closed_;
+  });
+  const auto it = responses_.find(ticket);
+  if (it == responses_.end()) {
+    // Closed with the ticket still queued or in flight -- if it is in
+    // flight a drain may yet publish it, but the caller asked to shut
+    // down; report the abandonment rather than block forever.
+    throw std::runtime_error("Server::take: server closed before response");
+  }
+  Response response = std::move(it->second);
+  responses_.erase(it);
+  return response;
+}
+
+void Server::close() {
+  {
+    std::unique_lock lock(mutex_);
+    closed_ = true;
+  }
+  published_cv_.notify_all();
+}
+
+std::size_t Server::pending() const {
+  std::unique_lock lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace pimecc::serve

@@ -1,0 +1,87 @@
+// pimecc -- serve/server.hpp
+//
+// The batched request engine behind `pimecc serve` and `pimecc sweep`: a
+// concurrent submission queue in front of a handler that executes batches
+// on the process-wide work-stealing executor (util::Executor::shared() via
+// parallel_for -- no thread pool of its own, per the repo's one-substrate
+// rule).  Producers submit requests and get tickets; drain_once() admits up
+// to max_batch pending requests, executes them with up to `lanes` executor
+// lanes, and publishes each response under its ticket; take() blocks until
+// its ticket is published.
+//
+// Determinism: a response is a pure function of its request (run requests
+// carry an explicit seed), so neither the batch boundaries nor the lane
+// count can change any response bit -- pinned by tests/test_serve.cpp and
+// cross-checked by bench_serving across lane counts.  Latency is measured
+// by the bench around the queue, never inside it, so the engine itself
+// stays clock-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/request.hpp"
+
+namespace pimecc::serve {
+
+struct ServerConfig {
+  std::size_t max_batch = 32;  ///< admission batch size (>= 1)
+  std::size_t lanes = 0;       ///< executor lanes per batch; 0 = full width
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+
+  /// Serves one request synchronously (also the per-item body of
+  /// execute_batch, so batched and unbatched paths cannot diverge).
+  /// Never throws: handler exceptions become Response{ok=false}.
+  [[nodiscard]] Response execute(const Request& request);
+
+  /// Serves a batch with up to config.lanes executor lanes; responses are
+  /// positionally aligned with `requests`.
+  [[nodiscard]] std::vector<Response> execute_batch(
+      std::span<const Request> requests);
+
+  // --- concurrent queue front end ----------------------------------------
+  /// Enqueues a request; the returned ticket is its submission index.
+  /// Throws std::runtime_error after close().
+  std::uint64_t submit(Request request);
+  /// Admits up to max_batch pending requests, executes them, publishes the
+  /// responses.  Returns the number served (0 when the queue was empty).
+  std::size_t drain_once();
+  /// Drains until the queue is empty; returns the total served.
+  std::size_t drain();
+  /// Blocks until `ticket` is published (some thread must be draining),
+  /// then removes and returns its response.  Throws std::runtime_error if
+  /// the server is closed while the ticket is still unserved.
+  [[nodiscard]] Response take(std::uint64_t ticket);
+  /// Rejects further submits and wakes blocked take() calls.  Pending
+  /// requests already submitted may still be drained and taken.
+  void close();
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Registry& registry() noexcept { return registry_; }
+
+ private:
+  Response handle(const Request& request);  // may throw; execute() wraps
+
+  ServerConfig config_;
+  Registry registry_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable published_cv_;
+  std::deque<std::pair<std::uint64_t, Request>> queue_;
+  std::map<std::uint64_t, Response> responses_;
+  std::uint64_t next_ticket_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pimecc::serve

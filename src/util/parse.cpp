@@ -1,0 +1,50 @@
+#include "util/parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace pimecc::util {
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // from_chars accepts a leading '-' for unsigned types (negation modulo
+  // 2^64); reject any non-digit up front so "-1" and "+1" both fail.
+  if (!std::isdigit(static_cast<unsigned char>(text.front()))) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::size_t> parse_size(std::string_view text) {
+  const auto value = parse_u64(text);
+  if (!value || *value > static_cast<std::uint64_t>(~std::size_t{0})) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(*value);
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const char first = text.front();
+  if (!std::isdigit(static_cast<unsigned char>(first)) && first != '-' &&
+      first != '.') {
+    return std::nullopt;  // rejects "+1", "inf", "nan", whitespace
+  }
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                         value, std::chars_format::general);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;  // "1e999" overflows to inf
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view text) {
+  if (text == "1" || text == "true" || text == "on") return true;
+  if (text == "0" || text == "false" || text == "off") return false;
+  return std::nullopt;
+}
+
+}  // namespace pimecc::util

@@ -1,0 +1,36 @@
+// pimecc -- util/parse.hpp
+//
+// Strict, locale-independent numeric parsing for every external text
+// surface (CLI flags, trace lines, example arguments).  The historical CLI
+// layer mixed std::stoull (uncaught std::invalid_argument ->
+// std::terminate on garbage) with atof/atoll (silently coerce garbage to
+// 0) -- exactly the validate-before-mutate gap the library layers were
+// swept for.  These helpers return std::nullopt unless the ENTIRE string
+// is a valid in-range literal, so callers must decide explicitly what a
+// bad value means (usage error, request rejection, ...), and can never
+// proceed on a half-parsed number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace pimecc::util {
+
+/// Parses a full string as an unsigned decimal integer.  Rejects empty
+/// strings, signs, leading/trailing whitespace, trailing garbage, and
+/// values that overflow std::uint64_t.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// parse_u64 range-checked into std::size_t (they differ on 32-bit size_t).
+[[nodiscard]] std::optional<std::size_t> parse_size(std::string_view text);
+
+/// Parses a full string as a finite double (decimal or scientific form,
+/// e.g. "24", "0.5", "1e-3").  Rejects empty strings, whitespace, trailing
+/// garbage, hex floats, inf, and nan.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// Parses "0"/"1"/"true"/"false"/"on"/"off" (exact match).
+[[nodiscard]] std::optional<bool> parse_bool(std::string_view text);
+
+}  // namespace pimecc::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/bitmatrix.hpp"
 #include "util/bitvector.hpp"
@@ -29,6 +30,13 @@ void Rng::reseed(std::uint64_t seed) {
   for (auto& s : state_) s = splitmix64(sm);
   // xoshiro must not start from the all-zero state.
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+void Rng::set_state(const State& state) {
+  if ((state[0] | state[1] | state[2] | state[3]) == 0) {
+    throw std::invalid_argument("Rng::set_state: all-zero state is invalid");
+  }
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
 }
 
 void Rng::advance_by(const std::uint64_t (&polynomial)[4]) noexcept {

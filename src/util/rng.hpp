@@ -6,6 +6,7 @@
 // experiments are reproducible from a single seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <random>
 
@@ -15,6 +16,16 @@ namespace pimecc::util {
 class Rng {
  public:
   using result_type = std::uint64_t;
+
+  /// The full generator state.  next() is a pure function of these four
+  /// words, so state()/set_state() round-trips reproduce the stream
+  /// position exactly -- the checkpoint formats (arch/checkpoint,
+  /// reliability/lifetime) persist this to make long simulations
+  /// resumable.  Note the sampling helpers that delegate to <random>
+  /// distributions (binomial, poisson) construct a fresh distribution per
+  /// call, so no distribution-internal cache exists outside state_ and a
+  /// restored Rng continues bit-identically.
+  using State = std::array<std::uint64_t, 4>;
 
   /// Default seed chosen arbitrarily but fixed for reproducibility.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
@@ -34,6 +45,15 @@ class Rng {
   /// regardless of how work is distributed across threads.
   [[nodiscard]] static Rng for_stream(std::uint64_t seed,
                                       std::uint64_t stream) noexcept;
+
+  /// Captures the exact stream position (see State).
+  [[nodiscard]] State state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  /// Restores a captured stream position.  Throws std::invalid_argument on
+  /// the all-zero state, which is not reachable from any seed and would
+  /// lock the generator at zero forever.
+  void set_state(const State& state);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~std::uint64_t{0}; }

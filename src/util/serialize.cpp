@@ -1,0 +1,236 @@
+#include "util/serialize.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/bitmatrix.hpp"
+#include "util/bitvector.hpp"
+
+namespace pimecc::util {
+
+namespace {
+
+// CRC-64/XZ: reflected ECMA-182 polynomial, init/xorout all-ones.
+constexpr std::uint64_t kCrcPoly = 0xC96C5795D7870F42ull;  // reflected 0x42F0E1EBA9EA3693
+
+constexpr std::array<std::uint64_t, 256> make_crc_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kCrcPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint64_t, 256> kCrcTable = make_crc_table();
+
+void append_le(std::vector<std::uint8_t>& out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t load_le(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t crc64(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t crc = ~std::uint64_t{0};
+  for (const std::uint8_t b : bytes) {
+    crc = (crc >> 8) ^ kCrcTable[(crc ^ b) & 0xFF];
+  }
+  return ~crc;
+}
+
+std::uint64_t chunk_magic(std::string_view tag) {
+  if (tag.size() != 8) {
+    throw std::invalid_argument("chunk_magic: tag must be 8 characters");
+  }
+  std::uint64_t magic = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    magic |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tag[i]))
+             << (8 * i);
+  }
+  return magic;
+}
+
+// --------------------------------------------------------------- ByteWriter
+
+void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+void ByteWriter::u32(std::uint32_t v) { append_le(buffer_, v, 4); }
+void ByteWriter::u64(std::uint64_t v) { append_le(buffer_, v, 8); }
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::str(std::string_view text) {
+  u64(text.size());
+  buffer_.insert(buffer_.end(), text.begin(), text.end());
+}
+
+void ByteWriter::bitvector(const BitVector& bits) {
+  u64(bits.size());
+  for (const std::uint64_t word : bits.words()) u64(word);
+}
+
+void ByteWriter::bitmatrix(const BitMatrix& mat) {
+  u64(mat.rows());
+  u64(mat.cols());
+  for (const BitVector& row : mat.rows_span()) {
+    for (const std::uint64_t word : row.words()) u64(word);
+  }
+}
+
+// --------------------------------------------------------------- ByteReader
+
+std::span<const std::uint8_t> ByteReader::take(std::size_t count) {
+  if (count > data_.size() - pos_) {
+    throw SerializeError("serialized stream truncated");
+  }
+  const auto view = data_.subspan(pos_, count);
+  pos_ += count;
+  return view;
+}
+
+std::uint8_t ByteReader::u8() { return take(1)[0]; }
+std::uint32_t ByteReader::u32() {
+  return static_cast<std::uint32_t>(load_le(take(4)));
+}
+std::uint64_t ByteReader::u64() { return load_le(take(8)); }
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t size = u64();
+  if (size > remaining()) {
+    throw SerializeError("serialized string truncated");
+  }
+  const auto view = take(static_cast<std::size_t>(size));
+  return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+}
+
+BitVector ByteReader::bitvector() {
+  const std::uint64_t size = u64();
+  // Overflow-safe ceil(size / 64): (size + 63) would wrap for declared
+  // sizes near 2^64 and sneak a 0 word count past the truncation guard.
+  const std::uint64_t words = size / 64 + (size % 64 != 0 ? 1 : 0);
+  // 8 bytes per word must still be in the buffer before any allocation.
+  if (words > remaining() / 8) {
+    throw SerializeError("serialized bit vector truncated");
+  }
+  BitVector bits(static_cast<std::size_t>(size));
+  const auto span = bits.words_mutable();
+  for (std::size_t w = 0; w < span.size(); ++w) span[w] = u64();
+  // The padding invariant (bits >= size are zero) is part of the canonical
+  // encoding; stray high bits mean the stream was not produced by
+  // ByteWriter::bitvector and passed the CRC by construction error.
+  BitVector canonical = bits;
+  canonical.sanitize();
+  if (!(canonical == bits)) {
+    throw SerializeError("serialized bit vector has nonzero padding");
+  }
+  return bits;
+}
+
+BitMatrix ByteReader::bitmatrix() {
+  const std::uint64_t rows = u64();
+  const std::uint64_t cols = u64();
+  const std::uint64_t words_per_row = cols / 64 + (cols % 64 != 0 ? 1 : 0);
+  if (rows != 0 && words_per_row > remaining() / 8 / rows) {
+    throw SerializeError("serialized bit matrix truncated");
+  }
+  BitMatrix mat(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (BitVector& row : mat.rows_span()) {
+    const auto span = row.words_mutable();
+    for (std::size_t w = 0; w < span.size(); ++w) span[w] = u64();
+    BitVector canonical = row;
+    canonical.sanitize();
+    if (!(canonical == row)) {
+      throw SerializeError("serialized bit matrix has nonzero padding");
+    }
+  }
+  return mat;
+}
+
+void ByteReader::require_exhausted() const {
+  if (pos_ != data_.size()) {
+    throw SerializeError("serialized payload has trailing bytes");
+  }
+}
+
+// ------------------------------------------------------------ chunk framing
+
+void write_chunk(std::ostream& os, std::uint64_t magic, std::uint32_t version,
+                 std::span<const std::uint8_t> payload) {
+  ByteWriter header;
+  header.u64(magic);
+  header.u32(version);
+  header.u64(payload.size());
+  os.write(reinterpret_cast<const char*>(header.data().data()),
+           static_cast<std::streamsize>(header.size()));
+  os.write(reinterpret_cast<const char*>(payload.data()),
+           static_cast<std::streamsize>(payload.size()));
+  ByteWriter footer;
+  footer.u64(crc64(payload));
+  os.write(reinterpret_cast<const char*>(footer.data().data()),
+           static_cast<std::streamsize>(footer.size()));
+}
+
+namespace {
+
+/// Reads exactly `count` bytes or throws SerializeError.
+std::vector<std::uint8_t> read_exact(std::istream& is, std::size_t count,
+                                     const char* what) {
+  std::vector<std::uint8_t> bytes(count);
+  is.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(count));
+  if (static_cast<std::size_t>(is.gcount()) != count) {
+    throw SerializeError(std::string("checkpoint truncated reading ") + what);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Chunk read_chunk(std::istream& is, std::uint64_t expected_magic,
+                 std::uint32_t max_version, std::uint64_t max_payload) {
+  const auto header = read_exact(is, 8 + 4 + 8, "chunk header");
+  ByteReader reader(header);
+  const std::uint64_t magic = reader.u64();
+  if (magic != expected_magic) {
+    throw SerializeError("bad checkpoint magic (wrong or corrupt file)");
+  }
+  const std::uint32_t version = reader.u32();
+  if (version == 0 || version > max_version) {
+    throw SerializeError("unsupported checkpoint version " +
+                         std::to_string(version));
+  }
+  const std::uint64_t size = reader.u64();
+  if (size > max_payload) {
+    throw SerializeError("checkpoint payload size implausibly large");
+  }
+  Chunk chunk;
+  chunk.version = version;
+  chunk.payload = read_exact(is, static_cast<std::size_t>(size), "payload");
+  const auto crc_bytes = read_exact(is, 8, "checksum");
+  const std::uint64_t stored_crc = load_le(crc_bytes);
+  if (stored_crc != crc64(chunk.payload)) {
+    throw SerializeError("checkpoint checksum mismatch (corrupt file)");
+  }
+  return chunk;
+}
+
+}  // namespace pimecc::util

@@ -1,0 +1,135 @@
+// pimecc -- util/serialize.hpp
+//
+// Versioned, checksummed binary serialization: the substrate of the
+// checkpoint formats (arch/checkpoint.hpp, reliability/lifetime.hpp) that
+// make long lifetime simulations resumable and request traces replayable.
+//
+// Layout discipline
+//   - Everything is little-endian, fixed-width, no padding: a checkpoint
+//     written on one machine restores on any other.
+//   - A file is one or more *chunks*:
+//
+//       | magic u64 | version u32 | payload_size u64 | payload | crc64 u64 |
+//
+//     The magic is an 8-character tag (chunk_magic("PIMECCKP")), the
+//     version gates format evolution (readers accept <= their maximum and
+//     must keep decoding every version they ever wrote), and the CRC-64
+//     (ECMA-182 polynomial) covers the payload bytes.
+//   - Decoding is strictly validate-before-mutate: read_chunk verifies
+//     magic, version, size bound, and checksum before returning a byte
+//     buffer; ByteReader throws SerializeError on any truncated read; and
+//     checkpoint restorers parse the full payload into locals before
+//     touching any live state.  A corrupt file can therefore never poke a
+//     machine, a code, or an RNG.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pimecc::util {
+
+class BitMatrix;
+class BitVector;
+
+/// Any structural defect of a serialized stream: truncation, bad magic,
+/// unsupported version, checksum mismatch, or field-level validation
+/// failures raised by the checkpoint decoders.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-64/ECMA-182 (the xz polynomial 0x42F0E1EBA9EA3693, reflected form)
+/// over a byte span.  Table-driven, one table shared process-wide.
+[[nodiscard]] std::uint64_t crc64(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Packs an 8-character tag into the u64 chunk magic ("PIMECCKP" etc.).
+/// Throws std::invalid_argument unless the tag is exactly 8 characters.
+[[nodiscard]] std::uint64_t chunk_magic(std::string_view tag);
+
+/// Little-endian append-only byte sink.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern via bit_cast (doubles round-trip exactly,
+  /// including signed zeros; NaN payloads are preserved bit-for-bit).
+  void f64(double v);
+  void bytes(std::span<const std::uint8_t> data);
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view text);
+  /// u64 bit count + backing words (the padding invariant makes the word
+  /// image canonical for a given bit content).
+  void bitvector(const BitVector& bits);
+  /// u64 rows, u64 cols + each row's words.
+  void bitmatrix(const BitMatrix& mat);
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Little-endian cursor over a byte span; every read throws SerializeError
+/// on truncation, so decoders cannot silently run off the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] BitVector bitvector();
+  [[nodiscard]] BitMatrix bitmatrix();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  /// Throws SerializeError unless every payload byte was consumed --
+  /// trailing garbage means the stream is not what the decoder thinks.
+  void require_exhausted() const;
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t count);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Default ceiling on a declared payload size (256 MiB): a corrupt or
+/// hostile size field must not drive a multi-gigabyte allocation before
+/// truncation is even detectable.
+inline constexpr std::uint64_t kMaxChunkPayload = 256ull << 20;
+
+/// Writes one framed chunk (header + payload + CRC).  Throws
+/// std::ios_base::failure-free: stream state is the caller's to check, but
+/// a throwing stream propagates naturally.
+void write_chunk(std::ostream& os, std::uint64_t magic, std::uint32_t version,
+                 std::span<const std::uint8_t> payload);
+
+struct Chunk {
+  std::uint32_t version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Reads and fully validates one chunk: magic must equal `expected_magic`,
+/// version must be in [1, max_version], the declared size must be within
+/// `max_payload`, the payload must be complete, and the trailing CRC must
+/// match.  Throws SerializeError otherwise; the returned payload is safe
+/// to parse.
+[[nodiscard]] Chunk read_chunk(std::istream& is, std::uint64_t expected_magic,
+                               std::uint32_t max_version,
+                               std::uint64_t max_payload = kMaxChunkPayload);
+
+}  // namespace pimecc::util

@@ -105,6 +105,25 @@ class Crossbar {
   [[nodiscard]] std::uint64_t init_cycles() const noexcept { return init_cycles_; }
   void reset_counters() noexcept;
 
+  /// Counter snapshot for the checkpoint layer: PimMachine derives its
+  /// MEM-cycle accounting from cycles(), so a restored machine must resume
+  /// from the saved counter values or its post-resume accounting would
+  /// diverge from an uninterrupted run.
+  struct Counters {
+    std::uint64_t cycles = 0;
+    std::uint64_t nor_ops = 0;
+    std::uint64_t init_cycles = 0;
+    bool operator==(const Counters&) const noexcept = default;
+  };
+  [[nodiscard]] Counters counters() const noexcept {
+    return {cycles_, nor_ops_, init_cycles_};
+  }
+  void restore_counters(const Counters& counters) noexcept {
+    cycles_ = counters.cycles;
+    nor_ops_ = counters.nor_ops;
+    init_cycles_ = counters.init_cycles;
+  }
+
  private:
   void check_line(Orientation o, std::size_t line, const char* what) const;
   void check_lane(Orientation o, std::size_t lane) const;

@@ -1,0 +1,240 @@
+// Tests for util/serialize: CRC-64, the byte codecs, and the chunk framing
+// -- every structural defect class (truncation, bad magic, bad version,
+// implausible size, checksum mismatch, trailing bytes, nonzero bit-vector
+// padding) must throw SerializeError, never return partial data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "util/bitmatrix.hpp"
+#include "util/bitvector.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace pimecc {
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::SerializeError;
+
+TEST(Crc64, KnownVector) {
+  // CRC-64/XZ check value for the ASCII digits "123456789".
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(util::crc64(digits), 0x995DC9BBDF1939FAull);
+  EXPECT_EQ(util::crc64({}), 0u);
+}
+
+TEST(Crc64, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> bytes(64);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  const std::uint64_t clean = util::crc64(bytes);
+  for (std::size_t i = 0; i < bytes.size(); i += 11) {
+    bytes[i] ^= 0x10;
+    EXPECT_NE(util::crc64(bytes), clean) << "flip at byte " << i;
+    bytes[i] ^= 0x10;
+  }
+  EXPECT_EQ(util::crc64(bytes), clean);
+}
+
+TEST(ChunkMagic, PacksEightChars) {
+  const std::uint64_t magic = util::chunk_magic("PIMECCKP");
+  EXPECT_EQ(magic & 0xFF, static_cast<std::uint64_t>('P'));
+  EXPECT_EQ((magic >> 56) & 0xFF, static_cast<std::uint64_t>('P'));
+  EXPECT_NE(util::chunk_magic("PIMECCMC"), magic);
+  EXPECT_THROW((void)util::chunk_magic("SHORT"), std::invalid_argument);
+  EXPECT_THROW((void)util::chunk_magic("TOO LONG TAG"), std::invalid_argument);
+}
+
+TEST(ByteCodec, RoundTripsScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-1234.5678);
+  w.f64(-0.0);
+  w.str("hello");
+  w.str("");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f64(), -1234.5678);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_NO_THROW(r.require_exhausted());
+}
+
+TEST(ByteCodec, RoundTripsBitContainers) {
+  util::Rng rng(7);
+  util::BitVector bits(133);
+  util::fill_random(bits, rng);
+  const util::BitMatrix mat = util::random_bit_matrix(9, 70, rng);
+
+  ByteWriter w;
+  w.bitvector(bits);
+  w.bitmatrix(mat);
+  w.bitvector(util::BitVector(0));
+
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.bitvector() == bits);
+  EXPECT_TRUE(r.bitmatrix() == mat);
+  EXPECT_EQ(r.bitvector().size(), 0u);
+  EXPECT_NO_THROW(r.require_exhausted());
+}
+
+TEST(ByteCodec, TruncationThrows) {
+  ByteWriter w;
+  w.u64(42);
+  w.str("payload");
+  const auto full = w.data();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    ByteReader r(full.subspan(0, cut));
+    EXPECT_THROW(
+        {
+          (void)r.u64();
+          (void)r.str();
+        },
+        SerializeError)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(ByteCodec, TrailingBytesThrow) {
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0);
+  ByteReader r(w.data());
+  (void)r.u32();
+  EXPECT_THROW(r.require_exhausted(), SerializeError);
+}
+
+TEST(ByteCodec, HugeDeclaredBitVectorThrowsBeforeAllocating) {
+  ByteWriter w;
+  w.u64(~std::uint64_t{0});  // declared bit count ~2^64: words don't exist
+  ByteReader r(w.data());
+  EXPECT_THROW((void)r.bitvector(), SerializeError);
+
+  ByteWriter wm;
+  wm.u64(1u << 20);  // rows
+  wm.u64(1u << 20);  // cols -- words would need terabytes
+  ByteReader rm(wm.data());
+  EXPECT_THROW((void)rm.bitmatrix(), SerializeError);
+}
+
+TEST(ByteCodec, NonzeroPaddingRejected) {
+  util::BitVector bits(10);
+  bits.set(3, true);
+  ByteWriter w;
+  w.bitvector(bits);
+  std::vector<std::uint8_t> bytes(w.data().begin(), w.data().end());
+  bytes[8 + 2] |= 0x80;  // bit 23 of the word: beyond size 10, inside word 0
+  ByteReader r(bytes);
+  EXPECT_THROW((void)r.bitvector(), SerializeError);
+}
+
+TEST(ChunkFraming, RoundTrips) {
+  const std::uint64_t magic = util::chunk_magic("PIMECCT1");
+  ByteWriter w;
+  w.u64(123);
+  w.str("chunk payload");
+
+  std::stringstream stream;
+  util::write_chunk(stream, magic, 3, w.data());
+  const util::Chunk chunk = util::read_chunk(stream, magic, 5);
+  EXPECT_EQ(chunk.version, 3u);
+  ByteReader r(chunk.payload);
+  EXPECT_EQ(r.u64(), 123u);
+  EXPECT_EQ(r.str(), "chunk payload");
+  EXPECT_NO_THROW(r.require_exhausted());
+}
+
+TEST(ChunkFraming, EmptyPayloadRoundTrips) {
+  const std::uint64_t magic = util::chunk_magic("PIMECCT1");
+  std::stringstream stream;
+  util::write_chunk(stream, magic, 1, {});
+  const util::Chunk chunk = util::read_chunk(stream, magic, 1);
+  EXPECT_EQ(chunk.version, 1u);
+  EXPECT_TRUE(chunk.payload.empty());
+}
+
+class ChunkDefects : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ByteWriter w;
+    w.u64(0xFEEDFACEull);
+    w.str("some payload text");
+    std::stringstream stream;
+    util::write_chunk(stream, magic_, 2, w.data());
+    encoded_ = stream.str();
+  }
+
+  [[nodiscard]] util::Chunk decode(const std::string& bytes,
+                                   std::uint32_t max_version = 4) const {
+    std::istringstream stream(bytes);
+    return util::read_chunk(stream, magic_, max_version);
+  }
+
+  const std::uint64_t magic_ = util::chunk_magic("PIMECCT2");
+  std::string encoded_;
+};
+
+TEST_F(ChunkDefects, WrongMagicThrows) {
+  std::string bad = encoded_;
+  bad[0] ^= 0x01;
+  EXPECT_THROW((void)decode(bad), SerializeError);
+}
+
+TEST_F(ChunkDefects, UnsupportedVersionThrows) {
+  // Reader older than the writer: max_version below the stored version.
+  EXPECT_THROW((void)decode(encoded_, 1), SerializeError);
+  // Version 0 is never valid.
+  std::string bad = encoded_;
+  bad[8] = bad[9] = bad[10] = bad[11] = '\0';
+  EXPECT_THROW((void)decode(bad), SerializeError);
+}
+
+TEST_F(ChunkDefects, EveryTruncationThrows) {
+  for (std::size_t cut = 0; cut < encoded_.size(); ++cut) {
+    EXPECT_THROW((void)decode(encoded_.substr(0, cut)), SerializeError)
+        << "prefix length " << cut;
+  }
+  EXPECT_NO_THROW((void)decode(encoded_));
+}
+
+TEST_F(ChunkDefects, CorruptPayloadByteFailsChecksum) {
+  const std::size_t header = 8 + 4 + 8;
+  for (std::size_t i = header; i + 8 < encoded_.size(); ++i) {
+    std::string bad = encoded_;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_THROW((void)decode(bad), SerializeError) << "payload byte " << i;
+  }
+}
+
+TEST_F(ChunkDefects, CorruptChecksumThrows) {
+  std::string bad = encoded_;
+  bad.back() = static_cast<char>(bad.back() ^ 0xFF);
+  EXPECT_THROW((void)decode(bad), SerializeError);
+}
+
+TEST_F(ChunkDefects, ImplausibleSizeThrowsWithoutAllocating) {
+  // Rewrite the size field to a multi-exabyte claim; the reader must
+  // reject on the bound, not attempt the allocation/read.
+  std::string bad = encoded_;
+  for (std::size_t i = 0; i < 8; ++i) {
+    bad[12 + i] = static_cast<char>(0xFF);
+  }
+  EXPECT_THROW((void)decode(bad), SerializeError);
+}
+
+}  // namespace
+}  // namespace pimecc

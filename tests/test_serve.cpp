@@ -1,0 +1,314 @@
+// Tests for the serving front end: trace-line parsing, handler correctness
+// against direct library calls, batching/lane-count determinism, the
+// concurrent submit/drain/take queue, and registry caching.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reliability/analytic.hpp"
+#include "serve/registry.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+
+namespace pimecc {
+namespace {
+
+using serve::Request;
+using serve::RequestKind;
+using serve::Response;
+using serve::Server;
+using serve::ServerConfig;
+
+Request parse_ok(const std::string& line) {
+  Request request;
+  std::string error;
+  EXPECT_TRUE(serve::parse_request(line, request, error)) << error;
+  return request;
+}
+
+std::string parse_error(const std::string& line) {
+  Request request;
+  std::string error;
+  EXPECT_FALSE(serve::parse_request(line, request, error));
+  EXPECT_FALSE(error.empty()) << "expected a diagnostic for: " << line;
+  return error;
+}
+
+TEST(ParseRequest, AcceptsEveryKindAndKey) {
+  Request map = parse_ok(
+      "map circuit=cavlc width=300 n=300 m=15 pcs=4 coverage=outputs "
+      "minpcs=1");
+  EXPECT_EQ(map.kind, RequestKind::kMap);
+  EXPECT_EQ(map.circuit, "cavlc");
+  EXPECT_EQ(map.row_width, 300u);
+  EXPECT_EQ(map.pcs, 4u);
+  EXPECT_EQ(map.coverage, simpler::CoveragePolicy::kOutputsOnly);
+  EXPECT_TRUE(map.min_pcs);
+
+  Request run = parse_ok("run circuit=ctrl n=60 m=15 seed=12345");
+  EXPECT_EQ(run.kind, RequestKind::kRun);
+  EXPECT_EQ(run.seed, 12345u);
+
+  Request mttf = parse_ok("mttf fit=2.5e-3 period=12 n=510 m=15 gib=0.5");
+  EXPECT_EQ(mttf.kind, RequestKind::kMttf);
+  EXPECT_EQ(mttf.fit_per_bit, 2.5e-3);
+  EXPECT_EQ(mttf.memory_gib, 0.5);
+
+  Request sweep = parse_ok("sweep fit_low=1e-4 fit_high=1e-1 ppd=3");
+  EXPECT_EQ(sweep.kind, RequestKind::kSweep);
+  EXPECT_EQ(sweep.points_per_decade, 3u);
+}
+
+TEST(ParseRequest, SkipsBlanksAndComments) {
+  Request request;
+  std::string error;
+  EXPECT_FALSE(serve::parse_request("", request, error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_FALSE(serve::parse_request("   \t ", request, error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_FALSE(serve::parse_request("# a comment line", request, error));
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(ParseRequest, HandlesCarriageReturns) {
+  Request request = parse_ok("run circuit=ctrl seed=9\r");
+  EXPECT_EQ(request.seed, 9u);
+}
+
+TEST(ParseRequest, RejectsDefectsWithDiagnostics) {
+  EXPECT_NE(parse_error("frobnicate n=3").find("unknown request kind"),
+            std::string::npos);
+  EXPECT_NE(parse_error("map nonsense=1").find("unknown key"),
+            std::string::npos);
+  EXPECT_NE(parse_error("map n=bogus").find("bad value"), std::string::npos);
+  EXPECT_NE(parse_error("map n=0").find("bad value"), std::string::npos);
+  EXPECT_NE(parse_error("map n=-5").find("bad value"), std::string::npos);
+  EXPECT_NE(parse_error("mttf fit=nan").find("bad value"), std::string::npos);
+  EXPECT_NE(parse_error("map n=3 n=4").find("duplicate key"),
+            std::string::npos);
+  EXPECT_NE(parse_error("map justakey").find("malformed token"),
+            std::string::npos);
+  EXPECT_NE(parse_error("map =5").find("malformed token"), std::string::npos);
+  EXPECT_NE(parse_error("map circuit=").find("bad value"), std::string::npos);
+  EXPECT_NE(parse_error("map minpcs=maybe").find("bad value"),
+            std::string::npos);
+}
+
+TEST(ServeHandler, MttfMatchesAnalyticModel) {
+  Server server;
+  const Request request = parse_ok("mttf fit=1e-3 period=24 n=1020 m=15 gib=1");
+  const Response response = server.execute(request);
+  ASSERT_TRUE(response.ok) << response.error;
+
+  rel::ReliabilityQuery query;
+  query.fit_per_bit = 1e-3;
+  query.check_period_hours = 24.0;
+  query.n = 1020;
+  query.m = 15;
+  query.memory_bits = 8ull * 1024 * 1024 * 1024;
+  const double baseline = rel::evaluate_baseline(query).mttf_hours;
+  const double proposed = rel::evaluate_proposed(query).mttf_hours;
+  EXPECT_EQ(response.baseline_mttf_hours, baseline);
+  EXPECT_EQ(response.proposed_mttf_hours, proposed);
+  EXPECT_EQ(response.improvement, proposed / baseline);
+}
+
+TEST(ServeHandler, MapReportsScheduleAndMinPcs) {
+  Server server;
+  const Response response =
+      server.execute(parse_ok("map circuit=ctrl coverage=both minpcs=1"));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_GT(response.baseline_cycles, 0u);
+  EXPECT_GE(response.proposed_cycles, response.baseline_cycles);
+  EXPECT_GT(response.min_pcs, 0u);
+  EXPECT_NEAR(response.overhead,
+              static_cast<double>(response.proposed_cycles) /
+                      static_cast<double>(response.baseline_cycles) -
+                  1.0,
+              1e-12);
+}
+
+TEST(ServeHandler, RunExecutesCleanlyAndDeterministically) {
+  Server server;
+  const Request request = parse_ok("run circuit=ctrl n=60 m=15 seed=42");
+  const Response first = server.execute(request);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.lanes, 60u);
+  EXPECT_EQ(first.mismatches, 0u);
+  EXPECT_TRUE(first.ecc_consistent);
+
+  // Same request, same seed, machine now reused from the pool: the
+  // response must be identical bit for bit.
+  const Response second = server.execute(request);
+  EXPECT_EQ(serve::format_response(first), serve::format_response(second));
+  EXPECT_GE(server.registry().stats().machine_reuses, 1u);
+}
+
+TEST(ServeHandler, ErrorsBecomeResponsesNeverThrows) {
+  Server server;
+  Request request = parse_ok("map circuit=ctrl");
+  request.circuit = "no-such-circuit";
+  const Response bad_circuit = server.execute(request);
+  EXPECT_FALSE(bad_circuit.ok);
+  EXPECT_FALSE(bad_circuit.error.empty());
+
+  Request bad_arch = parse_ok("run circuit=ctrl n=61 m=15");  // m must divide n
+  const Response bad = server.execute(bad_arch);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+
+  Request bad_gib = parse_ok("mttf gib=1e9");  // beyond the sane bound
+  EXPECT_FALSE(server.execute(bad_gib).ok);
+}
+
+TEST(ServeBatch, LaneCountCannotChangeAnyResponse) {
+  const std::vector<std::string> lines = {
+      "map circuit=ctrl coverage=both",
+      "run circuit=ctrl n=60 m=15 seed=1",
+      "run circuit=ctrl n=60 m=15 seed=2",
+      "mttf fit=1e-3 period=24",
+      "sweep fit_low=1e-3 fit_high=1e-2 ppd=2",
+      "map circuit=cavlc minpcs=1",
+  };
+  std::vector<Request> requests;
+  for (const auto& line : lines) requests.push_back(parse_ok(line));
+
+  auto run_with_lanes = [&](std::size_t lanes) {
+    ServerConfig config;
+    config.lanes = lanes;
+    Server server(config);
+    std::vector<std::string> formatted;
+    for (const Response& r : server.execute_batch(requests)) {
+      EXPECT_TRUE(r.ok) << r.error;
+      formatted.push_back(serve::format_response(r));
+    }
+    return formatted;
+  };
+
+  const auto serial = run_with_lanes(1);
+  EXPECT_EQ(run_with_lanes(2), serial);
+  EXPECT_EQ(run_with_lanes(0), serial);  // full executor width
+}
+
+TEST(ServeQueue, TicketsMatchDirectExecution) {
+  Server server;
+  std::vector<Request> requests;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    requests.push_back(
+        parse_ok("run circuit=ctrl n=60 m=15 seed=" + std::to_string(seed)));
+  }
+
+  std::vector<std::uint64_t> tickets;
+  for (const Request& request : requests) {
+    tickets.push_back(server.submit(request));
+  }
+  EXPECT_EQ(server.pending(), requests.size());
+  EXPECT_EQ(server.drain(), requests.size());
+  EXPECT_EQ(server.pending(), 0u);
+
+  Server oracle;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Response via_queue = server.take(tickets[i]);
+    const Response direct = oracle.execute(requests[i]);
+    EXPECT_EQ(serve::format_response(via_queue),
+              serve::format_response(direct))
+        << "ticket " << tickets[i];
+  }
+}
+
+TEST(ServeQueue, ConcurrentProducersAndDrainer) {
+  ServerConfig config;
+  config.max_batch = 4;
+  Server server(config);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 8;
+  std::atomic<std::size_t> taken{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const Request request = parse_ok(
+            "mttf fit=1e-3 period=" + std::to_string(12 + p) + " n=60 m=15");
+        const std::uint64_t ticket = server.submit(request);
+        const Response response = server.take(ticket);
+        EXPECT_TRUE(response.ok) << response.error;
+        EXPECT_GT(response.improvement, 1.0);
+        taken.fetch_add(1);
+      }
+    });
+  }
+
+  std::thread drainer([&] {
+    while (!done.load()) {
+      if (server.drain_once() == 0) std::this_thread::yield();
+    }
+    (void)server.drain();  // anything submitted before the flag flipped
+  });
+
+  for (auto& t : producers) t.join();
+  done.store(true);
+  drainer.join();
+  EXPECT_EQ(taken.load(), kProducers * kPerProducer);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(ServeQueue, CloseRejectsSubmitAndWakesTake) {
+  Server server;
+  const std::uint64_t ticket = server.submit(parse_ok("mttf fit=1e-3"));
+
+  std::thread waiter([&] {
+    // Served before close(): must be deliverable even afterwards.
+    const Response response = server.take(ticket);
+    EXPECT_TRUE(response.ok);
+  });
+  EXPECT_EQ(server.drain(), 1u);
+  waiter.join();
+
+  const std::uint64_t unserved = server.submit(parse_ok("mttf fit=1e-3"));
+  std::thread blocked([&] {
+    EXPECT_THROW((void)server.take(unserved), std::runtime_error);
+  });
+  server.close();  // wakes the blocked take() with no response published
+  blocked.join();
+  EXPECT_THROW((void)server.submit(parse_ok("mttf fit=1e-3")),
+               std::runtime_error);
+  EXPECT_THROW((void)server.take(9999), std::runtime_error);
+}
+
+TEST(ServeRegistry, CachesCircuitsProgramsAndMachines) {
+  serve::Registry registry;
+  const auto c1 = registry.circuit("ctrl");
+  const auto c2 = registry.circuit("ctrl");
+  EXPECT_EQ(c1.get(), c2.get());
+
+  const auto p1 = registry.program("ctrl", 60);
+  const auto p2 = registry.program("ctrl", 60);
+  const auto p3 = registry.program("ctrl", 120);  // different width: distinct
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_NE(p1.get(), p3.get());
+
+  {
+    auto lease = registry.acquire_machine(60, 15);
+    EXPECT_EQ(lease.machine().n(), 60u);
+  }  // returned to the pool here
+  { auto lease = registry.acquire_machine(60, 15); }
+
+  const serve::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.circuit_hits, 1u + 2u);  // c2 + the two program() lookups
+  EXPECT_EQ(stats.circuit_misses, 1u);
+  EXPECT_EQ(stats.program_hits, 1u);
+  EXPECT_EQ(stats.program_misses, 2u);
+  EXPECT_EQ(stats.machine_builds, 1u);
+  EXPECT_EQ(stats.machine_reuses, 1u);
+}
+
+}  // namespace
+}  // namespace pimecc

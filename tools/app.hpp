@@ -1,0 +1,43 @@
+// pimecc -- tools/app.hpp
+//
+// Shared scaffolding of the command-line tools (pimecc, pimecc_map):
+// checked flag parsing on top of util/parse -- a malformed numeric value
+// raises UsageError, which main() turns into a usage message and exit
+// status 1, never an uncaught std::stoull std::invalid_argument and a
+// std::terminate -- plus the map-tool implementation both binaries share.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pimecc::tools {
+
+/// Any bad command-line input.  Tool mains catch it, print the message and
+/// the tool's usage to stderr, and exit 1.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict flag-value parsers: throw UsageError naming the flag unless the
+/// whole value is a valid in-range literal.
+[[nodiscard]] std::uint64_t flag_u64(std::string_view flag,
+                                     std::string_view value);
+[[nodiscard]] std::size_t flag_size(std::string_view flag,
+                                    std::string_view value);
+[[nodiscard]] double flag_double(std::string_view flag, std::string_view value);
+
+/// argv[i + 1] as the value of flag argv[i]; advances i.  Throws UsageError
+/// when the value is missing.
+[[nodiscard]] std::string flag_value(int argc, char** argv, int& i,
+                                     std::string_view flag);
+
+/// The pimecc_map tool: maps a netlist and schedules it under the ECC
+/// architecture.  `argv[first..argc)` are the tool's own arguments; `prog`
+/// names the invocation in messages ("pimecc_map" or "pimecc map").  Exit
+/// status: 0 success, 1 usage/parse error, 2 netlist does not fit the row.
+int run_map_tool(int argc, char** argv, int first, std::string_view prog);
+
+}  // namespace pimecc::tools

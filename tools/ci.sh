@@ -124,4 +124,17 @@ else
   echo "==== bench_fleet_throughput not built; skipping smoke bench ===="
 fi
 
+# And the serving layer: the smoke configuration runs the serve-determinism
+# gate (identical responses at every batch size and lane count), the machine
+# checkpoint continuation identity, and the serialized chunked-lifetime
+# resume bit-identity, and exits non-zero on any divergence.
+serving_bin="$release_dir/bench/bench_serving"
+if [[ -n "$release_dir" && -x "$serving_bin" ]]; then
+  echo "==== [Release] bench_serving (smoke) ===="
+  "$serving_bin" --smoke --out="$release_dir/BENCH_serving.json"
+  echo "archived $release_dir/BENCH_serving.json"
+else
+  echo "==== bench_serving not built; skipping smoke bench ===="
+fi
+
 echo "==== CI gate passed (Debug + Release) ===="

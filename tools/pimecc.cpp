@@ -1,0 +1,359 @@
+// pimecc -- the serving front end: one binary, PISA-style subcommands.
+//
+// Usage:
+//   pimecc map   [pimecc_map options] <netlist.pnl | builtin:NAME>
+//   pimecc run   [--circuit NAME] [--n N] [--m M] [--seed S]
+//   pimecc mttf  [--fit F] [--period H] [--n N] [--m M] [--gib G]
+//                [--simulate] [--trials T] [--crossbars C] [--max-hours H]
+//                [--threads K] [--chunk T] [--checkpoint PATH] [--seed S]
+//   pimecc sweep [--fit-low F] [--fit-high F] [--ppd N] [--period H]
+//                [--n N] [--m M] [--gib G] [--batch B] [--lanes L]
+//   pimecc serve --trace FILE|- [--batch B] [--lanes L] [--stats]
+//
+// `map` is exactly the pimecc_map tool (same implementation, same exit
+// codes).  `run` executes one benchmark end-to-end on the ECC-protected
+// machine.  `mttf` evaluates the closed-form model; with --simulate it
+// also runs the Monte Carlo lifetime engine, resumable via --checkpoint
+// (interrupt it, rerun the identical command, and it continues from the
+// last completed chunk with bit-identical results).  `sweep` drives one
+// analytic mttf request per sweep point through the batched server.
+// `serve` is the daemon loop: it reads request lines (see
+// serve/request.hpp for the format) from a trace file or stdin, serves
+// them in admission batches on the shared executor, and prints one
+// response line per request in submission order.
+//
+// Exit status: 0 on success, 1 on bad usage or a failed run/mttf request
+// (map keeps its 0/1/2 contract).
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app.hpp"
+#include "reliability/lifetime.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace pimecc;
+
+void usage(std::ostream& os) {
+  os << "usage: pimecc <map|run|mttf|sweep|serve> [options]\n"
+        "  map    [pimecc_map options] <netlist.pnl | builtin:NAME>\n"
+        "  run    [--circuit NAME] [--n N] [--m M] [--seed S]\n"
+        "  mttf   [--fit F] [--period H] [--n N] [--m M] [--gib G]\n"
+        "         [--simulate] [--trials T] [--crossbars C] [--max-hours H]\n"
+        "         [--threads K] [--chunk T] [--checkpoint PATH] [--seed S]\n"
+        "  sweep  [--fit-low F] [--fit-high F] [--ppd N] [--period H]\n"
+        "         [--n N] [--m M] [--gib G] [--batch B] [--lanes L]\n"
+        "  serve  --trace FILE|- [--batch B] [--lanes L] [--stats]\n";
+}
+
+int fail_usage(const tools::UsageError& e) {
+  std::cerr << "pimecc: " << e.what() << '\n';
+  usage(std::cerr);
+  return 1;
+}
+
+int cmd_run(int argc, char** argv) {
+  serve::Request request;
+  request.kind = serve::RequestKind::kRun;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--circuit") {
+      request.circuit = tools::flag_value(argc, argv, i, arg);
+    } else if (arg == "--n") {
+      request.n = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--m") {
+      request.m = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--seed") {
+      request.seed = tools::flag_u64(arg, tools::flag_value(argc, argv, i, arg));
+    } else {
+      throw tools::UsageError("run: unknown option '" + arg + "'");
+    }
+  }
+  serve::Server server;
+  const serve::Response response = server.execute(request);
+  std::cout << serve::format_response(response) << '\n';
+  return response.ok && response.mismatches == 0 ? 0 : 1;
+}
+
+int cmd_mttf(int argc, char** argv) {
+  serve::Request request;
+  request.kind = serve::RequestKind::kMttf;
+  bool simulate = false;
+  rel::LifetimeConfig config;
+  config.fit_per_bit = request.fit_per_bit;
+  config.trials = 200;
+  std::string checkpoint_path;
+  std::size_t chunk = 50;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fit") {
+      request.fit_per_bit =
+          tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--period") {
+      request.period_hours =
+          tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--n") {
+      request.n = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--m") {
+      request.m = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--gib") {
+      request.memory_gib =
+          tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--simulate") {
+      simulate = true;
+    } else if (arg == "--trials") {
+      config.trials =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--crossbars") {
+      config.crossbars =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--max-hours") {
+      config.max_hours =
+          tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--threads") {
+      config.threads =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--chunk") {
+      chunk = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = tools::flag_value(argc, argv, i, arg);
+    } else if (arg == "--seed") {
+      seed = tools::flag_u64(arg, tools::flag_value(argc, argv, i, arg));
+    } else {
+      throw tools::UsageError("mttf: unknown option '" + arg + "'");
+    }
+  }
+
+  serve::Server server;
+  const serve::Response response = server.execute(request);
+  std::cout << serve::format_response(response) << '\n';
+  if (!response.ok) return 1;
+  if (!simulate) return 0;
+
+  config.n = request.n;
+  config.m = request.m;
+  config.fit_per_bit = request.fit_per_bit;
+  config.scrub_period_hours = request.period_hours;
+
+  try {
+    rel::LifetimeProgress progress;
+    bool resumed = false;
+    if (!checkpoint_path.empty()) {
+      std::ifstream in(checkpoint_path, std::ios::binary);
+      if (in) {
+        progress = rel::load_lifetime_checkpoint(in, config);
+        resumed = true;
+        std::cout << "resumed checkpoint: " << progress.trials_done << '/'
+                  << config.trials << " trials done\n";
+      }
+    }
+    if (!resumed) {
+      util::Rng rng(seed);
+      progress = rel::begin_lifetime(config, rng);
+    }
+    while (!rel::lifetime_complete(config, progress)) {
+      rel::advance_lifetime(config, progress, chunk);
+      if (!checkpoint_path.empty()) {
+        std::ofstream out(checkpoint_path,
+                          std::ios::binary | std::ios::trunc);
+        rel::save_lifetime_checkpoint(out, config, progress);
+        if (!out) {
+          std::cerr << "pimecc: cannot write checkpoint '" << checkpoint_path
+                    << "'\n";
+          return 1;
+        }
+      }
+    }
+    const rel::LifetimeResult result = rel::lifetime_result(progress);
+    std::cout << "simulated trials=" << result.trials
+              << " failures=" << result.failures
+              << " scrubs=" << result.scrubs_performed
+              << " corrected=" << result.errors_corrected
+              << " empirical_mttf_h="
+              << result.empirical_mttf_hours(config.max_hours)
+              << " analytic_mttf_h=" << rel::analytic_mttf_hours(config)
+              << '\n';
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pimecc: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int cmd_sweep(int argc, char** argv) {
+  serve::Request point;
+  point.kind = serve::RequestKind::kMttf;
+  double fit_low = 1e-4;
+  double fit_high = 1.0;
+  std::size_t ppd = 2;
+  serve::ServerConfig server_config;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fit-low") {
+      fit_low = tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--fit-high") {
+      fit_high = tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--ppd") {
+      ppd = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--period") {
+      point.period_hours =
+          tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--n") {
+      point.n = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--m") {
+      point.m = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--gib") {
+      point.memory_gib =
+          tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--batch") {
+      server_config.max_batch =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--lanes") {
+      server_config.lanes =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else {
+      throw tools::UsageError("sweep: unknown option '" + arg + "'");
+    }
+  }
+  if (!(fit_low > 0.0) || !(fit_high >= fit_low) || ppd == 0) {
+    throw tools::UsageError("sweep: need 0 < --fit-low <= --fit-high, --ppd >= 1");
+  }
+
+  // One analytic request per log-spaced sweep point, batched through the
+  // server's queue -- the same path `serve` exercises.
+  serve::Server server(server_config);
+  std::vector<std::uint64_t> tickets;
+  std::vector<double> fits;
+  const double decades = std::log10(fit_high / fit_low);
+  const std::size_t points =
+      static_cast<std::size_t>(decades * static_cast<double>(ppd)) + 1;
+  for (std::size_t p = 0; p < points; ++p) {
+    serve::Request request = point;
+    request.fit_per_bit =
+        fit_low * std::pow(10.0, static_cast<double>(p) /
+                                     static_cast<double>(ppd));
+    fits.push_back(request.fit_per_bit);
+    tickets.push_back(server.submit(std::move(request)));
+  }
+  server.drain();
+  bool all_ok = true;
+  for (std::size_t p = 0; p < tickets.size(); ++p) {
+    const serve::Response response = server.take(tickets[p]);
+    std::cout << "fit=" << fits[p] << ' '
+              << serve::format_response(response) << '\n';
+    all_ok = all_ok && response.ok;
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string trace_path;
+  serve::ServerConfig server_config;
+  bool print_stats = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace_path = tools::flag_value(argc, argv, i, arg);
+    } else if (arg == "--batch") {
+      server_config.max_batch =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--lanes") {
+      server_config.lanes =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else {
+      throw tools::UsageError("serve: unknown option '" + arg + "'");
+    }
+  }
+  if (trace_path.empty()) {
+    throw tools::UsageError("serve: --trace FILE|- is required");
+  }
+
+  std::ifstream file;
+  if (trace_path != "-") {
+    file.open(trace_path);
+    if (!file) {
+      std::cerr << "pimecc: cannot open trace '" << trace_path << "'\n";
+      return 1;
+    }
+  }
+  std::istream& in = trace_path == "-" ? std::cin : file;
+
+  // The daemon loop: admit requests, serve a batch whenever max_batch are
+  // pending (or the trace ends), answer in submission order.
+  serve::Server server(server_config);
+  std::vector<std::uint64_t> tickets;
+  std::vector<std::string> parse_errors;  // aligned with tickets via sentinel
+  std::string line;
+  while (std::getline(in, line)) {
+    serve::Request request;
+    std::string error;
+    if (serve::parse_request(line, request, error)) {
+      tickets.push_back(server.submit(std::move(request)));
+      parse_errors.emplace_back();
+      if (server.pending() >= server_config.max_batch) server.drain_once();
+    } else if (!error.empty()) {
+      tickets.push_back(~std::uint64_t{0});
+      parse_errors.push_back(std::move(error));
+    }
+  }
+  server.drain();
+  server.close();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    if (tickets[i] == ~std::uint64_t{0}) {
+      std::cout << "error kind=parse message=\"" << parse_errors[i] << "\"\n";
+    } else {
+      std::cout << serve::format_response(server.take(tickets[i])) << '\n';
+    }
+  }
+  if (print_stats) {
+    const serve::RegistryStats stats = server.registry().stats();
+    std::cerr << "registry: circuits " << stats.circuit_hits << " hit / "
+              << stats.circuit_misses << " miss; programs "
+              << stats.program_hits << " hit / " << stats.program_misses
+              << " miss; machines " << stats.machine_reuses << " reused / "
+              << stats.machine_builds << " built\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(std::cerr);
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "map") {
+      return tools::run_map_tool(argc, argv, 2, "pimecc map");
+    } else if (command == "run") {
+      return cmd_run(argc, argv);
+    } else if (command == "mttf") {
+      return cmd_mttf(argc, argv);
+    } else if (command == "sweep") {
+      return cmd_sweep(argc, argv);
+    } else if (command == "serve") {
+      return cmd_serve(argc, argv);
+    } else if (command == "--help" || command == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    throw tools::UsageError("unknown command '" + command + "'");
+  } catch (const tools::UsageError& e) {
+    return fail_usage(e);
+  } catch (const std::exception& e) {
+    std::cerr << "pimecc: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -16,170 +16,11 @@
 //
 // Exit status: 0 on success, 1 on bad usage/parse errors, 2 if the netlist
 // does not fit the row.
-#include <algorithm>
-#include <fstream>
-#include <iostream>
-#include <string>
-
-#include "arch/params.hpp"
-#include "arch/scheduler.hpp"
-#include "bench_circuits/circuits.hpp"
-#include "simpler/ecc_schedule.hpp"
-#include "simpler/mapper.hpp"
-#include "simpler/netlist_io.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-void usage(std::ostream& os) {
-  os << "usage: pimecc_map [--row-width N] [--block M] [--pcs K]\n"
-        "                  [--coverage outputs|both] [--emit-netlist]\n"
-        "                  [--quiet] <netlist.pnl | builtin:NAME>\n";
-}
-
-}  // namespace
+//
+// The implementation lives in tools/app.cpp (run_map_tool), shared with the
+// `pimecc map` subcommand.
+#include "app.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimecc;
-
-  arch::ArchParams params;
-  auto coverage = simpler::CoveragePolicy::kInputsAndOutputs;
-  bool emit_netlist = false;
-  bool quiet = false;
-  std::size_t timeline_events = 0;
-  std::string source;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_value = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        usage(std::cerr);
-        std::exit(1);
-      }
-      return argv[++i];
-    };
-    if (arg == "--row-width") {
-      params.n = static_cast<std::size_t>(std::stoull(next_value()));
-    } else if (arg == "--block") {
-      params.m = static_cast<std::size_t>(std::stoull(next_value()));
-    } else if (arg == "--pcs") {
-      params.num_pcs = static_cast<std::size_t>(std::stoull(next_value()));
-    } else if (arg == "--coverage") {
-      const std::string mode = next_value();
-      if (mode == "outputs") {
-        coverage = simpler::CoveragePolicy::kOutputsOnly;
-      } else if (mode == "both") {
-        coverage = simpler::CoveragePolicy::kInputsAndOutputs;
-      } else {
-        std::cerr << "pimecc_map: unknown coverage mode '" << mode << "'\n";
-        return 1;
-      }
-    } else if (arg == "--emit-netlist") {
-      emit_netlist = true;
-    } else if (arg == "--timeline") {
-      timeline_events = static_cast<std::size_t>(std::stoull(next_value()));
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(std::cout);
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "pimecc_map: unknown option '" << arg << "'\n";
-      usage(std::cerr);
-      return 1;
-    } else if (source.empty()) {
-      source = arg;
-    } else {
-      usage(std::cerr);
-      return 1;
-    }
-  }
-  if (source.empty()) {
-    usage(std::cerr);
-    return 1;
-  }
-
-  simpler::Netlist netlist("empty");
-  try {
-    if (source.rfind("builtin:", 0) == 0) {
-      netlist = circuits::build_circuit(source.substr(8)).netlist;
-    } else {
-      std::ifstream file(source);
-      if (!file) {
-        std::cerr << "pimecc_map: cannot open '" << source << "'\n";
-        return 1;
-      }
-      netlist = simpler::read_netlist(file);
-    }
-  } catch (const std::exception& e) {
-    std::cerr << "pimecc_map: " << e.what() << '\n';
-    return 1;
-  }
-
-  if (emit_netlist) {
-    std::cout << simpler::write_netlist_text(netlist);
-    return 0;
-  }
-
-  try {
-    params.validate();
-    simpler::MapperOptions options;
-    options.row_width = params.n;
-    const simpler::MappedProgram program = simpler::map_to_row(netlist, options);
-    std::vector<arch::ScheduledEvent> events;
-    const simpler::EccScheduleResult sched = simpler::schedule_with_ecc(
-        program, params, coverage, timeline_events > 0 ? &events : nullptr);
-    const std::size_t min_pcs = simpler::find_min_pcs(program, params, coverage);
-
-    if (quiet) {
-      std::cout << netlist.name() << " baseline=" << sched.baseline_cycles
-                << " proposed=" << sched.proposed_cycles << " overhead="
-                << util::format_pct(sched.overhead_fraction()) << " min_pcs="
-                << min_pcs << '\n';
-      return 0;
-    }
-    util::Table table({"Metric", "Value"});
-    table.add_row({"netlist", netlist.name()});
-    table.add_row({"inputs / outputs / gates",
-                   std::to_string(netlist.num_inputs()) + " / " +
-                       std::to_string(netlist.num_outputs()) + " / " +
-                       std::to_string(netlist.num_gates())});
-    table.add_row({"row width (n)", std::to_string(params.n)});
-    table.add_row({"peak cells used", std::to_string(program.peak_cells_used)});
-    table.add_row({"baseline cycles (gates + inits)",
-                   std::to_string(program.gate_cycles) + " + " +
-                       std::to_string(program.init_cycles) + " = " +
-                       std::to_string(sched.baseline_cycles)});
-    table.add_row({"proposed cycles (with ECC)",
-                   std::to_string(sched.proposed_cycles)});
-    table.add_row({"latency overhead",
-                   util::format_pct(sched.overhead_fraction())});
-    table.add_row({"critical ops / cancels",
-                   std::to_string(sched.critical_ops) + " / " +
-                       std::to_string(sched.cancel_ops)});
-    table.add_row({"MEM stall cycles", std::to_string(sched.stall_cycles)});
-    table.add_row({"min processing crossbars", std::to_string(min_pcs)});
-    std::cout << table;
-    if (timeline_events > 0) {
-      std::stable_sort(events.begin(), events.end(),
-                       [](const arch::ScheduledEvent& a,
-                          const arch::ScheduledEvent& b) {
-                         return a.cycle < b.cycle;
-                       });
-      std::cout << "\ntimeline (first " << timeline_events << " events):\n";
-      for (std::size_t i = 0; i < events.size() && i < timeline_events; ++i) {
-        const arch::ScheduledEvent& e = events[i];
-        std::cout << "  [" << e.cycle;
-        if (e.span > 1) std::cout << ".." << e.cycle + e.span - 1;
-        std::cout << "] " << e.unit_name() << ' ' << e.label << '\n';
-      }
-    }
-    return 0;
-  } catch (const std::runtime_error& e) {
-    std::cerr << "pimecc_map: " << e.what() << '\n';
-    return 2;
-  } catch (const std::exception& e) {
-    std::cerr << "pimecc_map: " << e.what() << '\n';
-    return 1;
-  }
+  return pimecc::tools::run_map_tool(argc, argv, 1, "pimecc_map");
 }
