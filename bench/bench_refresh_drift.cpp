@@ -46,7 +46,17 @@ std::size_t run_scenario(Scenario scenario, std::uint64_t seed) {
   fault::DriftModel drift(kN * kN, 1.0, 1.0, 30.0);
   const fault::ConstantRateModel abrupt(1e4);
 
-  for (double hours = 0.0; hours < kHorizonHours; hours += kStepHours) {
+  // Integer step counts: the refresh/scrub cadences are exact multiples of
+  // the step, so boundary detection is a modulus, not the old
+  // floating-point static_cast<int>(hours / period) comparison (which
+  // drifts once the accumulated `hours` picks up rounding error, and which
+  // was topped off by an extra unscheduled scrub after the loop).
+  constexpr std::size_t kSteps = static_cast<std::size_t>(kHorizonHours / kStepHours);
+  constexpr std::size_t kRefreshEvery =
+      static_cast<std::size_t>(kRefreshPeriod / kStepHours);
+  constexpr std::size_t kScrubEvery =
+      static_cast<std::size_t>(kScrubPeriod / kStepHours);
+  for (std::size_t step = 0; step < kSteps; ++step) {
     for (const std::size_t cell : drift.advance(rng, kStepHours)) {
       data.flip(cell / kN, cell % kN);
     }
@@ -55,18 +65,9 @@ std::size_t run_scenario(Scenario scenario, std::uint64_t seed) {
     for (std::size_t s = 0; s < strikes; ++s) {
       data.flip(rng.uniform_below(kN), rng.uniform_below(kN));
     }
-    const double next = hours + kStepHours;
-    if (scenario.refresh &&
-        static_cast<int>(next / kRefreshPeriod) !=
-            static_cast<int>(hours / kRefreshPeriod)) {
-      drift.refresh();
-    }
-    if (scenario.ecc && static_cast<int>(next / kScrubPeriod) !=
-                            static_cast<int>(hours / kScrubPeriod)) {
-      code.scrub(data);
-    }
+    if (scenario.refresh && (step + 1) % kRefreshEvery == 0) drift.refresh();
+    if (scenario.ecc && (step + 1) % kScrubEvery == 0) code.scrub(data);
   }
-  if (scenario.ecc) code.scrub(data);
   return data.hamming_distance(golden);
 }
 

@@ -1,0 +1,290 @@
+// Scenario-diversity frontier: Monte Carlo MTTF vs scrub overhead for every
+// fault-model preset x scrub-policy preset combination of the scenario
+// engine (reliability/scenario.hpp), emitting machine-readable
+// BENCH_scenarios.json.  The interesting output is the *frontier*: adaptive
+// policies (activation-triggered, hot-row priority) buy their MTTF gains
+// under workload-coupled fault models (disturbance) by scrubbing more
+// cells per hour; under workload-blind models (iid) they pay the same
+// overhead for little gain.
+//
+// Every run first executes the cross-check gate and the process exit
+// status reflects it:
+//   - thread determinism: one campaign run at threads=1 and threads=4 from
+//     the same seed must agree on every counter and every TTF statistic
+//     bit (the substream contract);
+//   - repeatability: the same seed twice must reproduce exactly;
+//   - zero-rate accounting: with every fault mechanism disabled, the
+//     scenario engine under the periodic policy must perform exactly the
+//     same number of scrubs as simulate_lifetime on the matched
+//     configuration (pins the policy's window-emission rule to the
+//     lifetime engine's walker), with zero failures on both sides;
+//   - iid hot configuration: scenario(iid, periodic) and simulate_lifetime
+//     are the same experiment up to the hit-to-block assignment
+//     approximation, so failure proportions must agree within a 5-sigma
+//     binomial band and empirical MTTFs within a ratio band;
+//   - stuck-at semantics: a stuck-heavy campaign must observe stuck
+//     repairs and spare replacements, and every replacement must have
+//     consumed exactly `replace_after_repairs` repairs
+//     (stuck_repairs >= cells_replaced * replace_after_repairs).
+//
+// Usage: bench_scenarios [--smoke] [--out=PATH]
+//   --smoke    fast CI configuration (fewer trials)
+//   --out=PATH where to write the JSON (default: BENCH_scenarios.json)
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "reliability/lifetime.hpp"
+#include "reliability/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pimecc;
+using rel::ScenarioConfig;
+using rel::ScenarioResult;
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Full result equality, including the TTF distribution moments -- the
+/// thread-determinism and repeatability gates compare every observable.
+bool identical(const ScenarioResult& a, const ScenarioResult& b) {
+  const util::RunningStats& sa = a.time_to_failure_hours;
+  const util::RunningStats& sb = b.time_to_failure_hours;
+  return a.trials == b.trials && a.failures == b.failures &&
+         a.scrub_events == b.scrub_events &&
+         a.blocks_scrubbed == b.blocks_scrubbed &&
+         a.cells_scrubbed == b.cells_scrubbed &&
+         a.faults_injected == b.faults_injected &&
+         a.errors_corrected == b.errors_corrected &&
+         a.stuck_repairs == b.stuck_repairs &&
+         a.cells_replaced == b.cells_replaced && sa.count() == sb.count() &&
+         sa.mean() == sb.mean() && sa.variance() == sb.variance() &&
+         sa.min() == sb.min() && sa.max() == sb.max();
+}
+
+struct FrontierPoint {
+  std::string model;
+  std::string policy;
+  ScenarioResult result;
+  double horizon = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_scenarios.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_scenarios [--smoke] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  bool cross_checks_ok = true;
+  auto gate = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::cerr << "cross-check FAILED: " << what << "\n";
+      cross_checks_ok = false;
+    }
+  };
+
+  // Shared campaign shape for the gates.
+  ScenarioConfig base;
+  base.n = 60;
+  base.m = 15;
+  base.max_hours = 240.0;
+  base.workload = rel::canonical_workload();
+
+  // --- thread determinism + repeatability (mixed model, adaptive policy:
+  // --- exercises every mechanism and the band-subset scrub path) ---------
+  {
+    ScenarioConfig config = base;
+    config.trials = smoke ? 48 : 200;
+    rel::apply_fault_preset("mixed", 1.5e4, config.faults);
+    rel::apply_policy_preset("hotrow", config.policy);
+    util::Rng r1(42), r4(42), r1b(42);
+    config.threads = 1;
+    const ScenarioResult serial = rel::run_scenario(config, r1);
+    const ScenarioResult serial_again = rel::run_scenario(config, r1b);
+    config.threads = 4;
+    const ScenarioResult threaded = rel::run_scenario(config, r4);
+    gate(identical(serial, threaded), "thread determinism (1 vs 4 lanes)");
+    gate(identical(serial, serial_again), "same-seed repeatability");
+    gate(serial.faults_injected > 0 && serial.stuck_repairs > 0,
+         "mixed campaign exercised its mechanisms");
+  }
+
+  // --- zero-rate scrub accounting vs simulate_lifetime -------------------
+  {
+    ScenarioConfig config = base;
+    config.trials = 7;
+    config.faults = rel::FaultMix{};  // every mechanism off
+    rel::apply_policy_preset("periodic", config.policy);
+    rel::LifetimeConfig lt;
+    lt.n = base.n;
+    lt.m = base.m;
+    lt.crossbars = 1;
+    lt.fit_per_bit = 0.0;
+    lt.scrub_period_hours = config.policy.period_hours;
+    lt.trials = config.trials;
+    lt.max_hours = config.max_hours;
+    util::Rng sr(7), lr(7);
+    const ScenarioResult sc = rel::run_scenario(config, sr);
+    const rel::LifetimeResult lf = rel::simulate_lifetime(lt, lr);
+    gate(sc.failures == 0 && lf.failures == 0,
+         "zero-rate campaigns cannot fail");
+    gate(sc.scrub_events == lf.scrubs_performed,
+         "zero-rate scrub count equals simulate_lifetime exactly");
+  }
+
+  // --- iid + periodic vs simulate_lifetime (statistical band) ------------
+  {
+    ScenarioConfig config = base;
+    config.trials = smoke ? 200 : 600;
+    config.threads = 0;
+    rel::apply_fault_preset("iid", 1.5e4, config.faults);
+    rel::apply_policy_preset("periodic", config.policy);
+    rel::LifetimeConfig lt;
+    lt.n = base.n;
+    lt.m = base.m;
+    lt.crossbars = 1;
+    lt.fit_per_bit = config.faults.fit_per_bit;
+    lt.scrub_period_hours = config.policy.period_hours;
+    lt.trials = config.trials;
+    lt.max_hours = config.max_hours;
+    lt.threads = 0;
+    util::Rng sr(0x5CE2'A210ull), lr(0x5CE2'A210ull);
+    const ScenarioResult sc = rel::run_scenario(config, sr);
+    const rel::LifetimeResult lf = rel::simulate_lifetime(lt, lr);
+    const double n = static_cast<double>(config.trials);
+    const double ps = static_cast<double>(sc.failures) / n;
+    const double pl = static_cast<double>(lf.failures) / n;
+    const double sigma = std::sqrt((ps * (1 - ps) + pl * (1 - pl)) / n);
+    gate(sc.failures > 0 && lf.failures > 0,
+         "iid hot configuration produces failures on both engines");
+    gate(std::abs(ps - pl) <= 5.0 * sigma + 1e-9,
+         "iid failure proportions within the 5-sigma band");
+    const double mttf_sc = sc.empirical_mttf_hours(config.max_hours);
+    const double mttf_lf = lf.empirical_mttf_hours(lt.max_hours);
+    gate(std::abs(mttf_sc / mttf_lf - 1.0) <= 0.5,
+         "iid empirical MTTFs within the ratio band");
+    std::cout << "iid gate: scenario " << sc.failures << "/" << config.trials
+              << " failures (mttf " << fmt(mttf_sc) << " h), lifetime "
+              << lf.failures << "/" << lt.trials << " (mttf " << fmt(mttf_lf)
+              << " h)\n";
+  }
+
+  // --- stuck-at semantics -------------------------------------------------
+  {
+    ScenarioConfig config = base;
+    config.trials = smoke ? 100 : 300;
+    config.threads = 0;
+    config.max_hours = 480.0;
+    rel::apply_fault_preset("iid", 8e3, config.faults);
+    config.faults.stuck_probability = 0.5;
+    config.faults.replace_after_repairs = 2;
+    rel::apply_policy_preset("periodic", config.policy);
+    util::Rng rng(0x57'0C'CA'7Eull);
+    const ScenarioResult sc = rel::run_scenario(config, rng);
+    gate(sc.stuck_repairs > 0, "stuck-heavy campaign observes stuck repairs");
+    gate(sc.cells_replaced > 0, "stuck-heavy campaign replaces cells");
+    gate(sc.stuck_repairs >=
+             sc.cells_replaced * config.faults.replace_after_repairs,
+         "every replacement consumed replace_after_repairs repairs");
+  }
+
+  std::cout << "cross-checks: " << (cross_checks_ok ? "ok" : "FAILED -- BUG")
+            << "\n";
+
+  // ------------------------------------------------------------- frontier
+  // MTTF vs scrub overhead across every model x policy cell.  The fault
+  // rate is chosen so the periodic baseline fails a moderate fraction of
+  // trials within the horizon -- hot enough to resolve policy differences,
+  // cold enough that adaptive scrubbing has something to save.
+  const double frontier_fit = 2000.0;
+  const double frontier_horizon = 480.0;
+  const std::size_t frontier_trials = smoke ? 40 : 400;
+  std::vector<FrontierPoint> frontier;
+  for (const std::string_view model : rel::fault_preset_names()) {
+    for (const std::string_view policy : rel::scrub_policy_preset_names()) {
+      ScenarioConfig config = base;
+      config.trials = frontier_trials;
+      config.max_hours = frontier_horizon;
+      config.threads = 0;
+      rel::apply_fault_preset(model, frontier_fit, config.faults);
+      rel::apply_policy_preset(policy, config.policy);
+      // Deterministic per-cell seed so cells can be reproduced standalone.
+      util::Rng rng(0xF07'117E2ull ^ (std::hash<std::string_view>{}(model) * 31 +
+                                      std::hash<std::string_view>{}(policy)));
+      FrontierPoint point;
+      point.model = std::string(model);
+      point.policy = std::string(policy);
+      point.horizon = frontier_horizon;
+      point.result = rel::run_scenario(config, rng);
+      std::cout << "frontier model=" << model << " policy=" << policy
+                << ": failures " << point.result.failures << "/"
+                << frontier_trials << ", mttf "
+                << fmt(point.result.empirical_mttf_hours(frontier_horizon))
+                << " h, scrub "
+                << fmt(point.result.scrub_cells_per_hour(frontier_horizon))
+                << " cells/h\n";
+      frontier.push_back(std::move(point));
+    }
+  }
+
+  // ------------------------------------------------------------------ JSON
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  const rel::WorkloadModel workload = rel::canonical_workload();
+  json << "{\n"
+       << "  \"schema\": \"pimecc-bench-scenarios/1\",\n"
+       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"cross_checks_ok\": " << (cross_checks_ok ? "true" : "false")
+       << ",\n"
+       << "  \"config\": {\"n\": " << base.n << ", \"m\": " << base.m
+       << ", \"fit_per_bit\": " << fmt(frontier_fit)
+       << ", \"horizon_hours\": " << fmt(frontier_horizon)
+       << ", \"trials\": " << frontier_trials << "},\n"
+       << "  \"workload\": {\"activations_per_hour\": "
+       << fmt(workload.activations_per_hour)
+       << ", \"hot_row_fraction\": " << fmt(workload.hot_row_fraction)
+       << ", \"hot_multiplier\": " << fmt(workload.hot_multiplier) << "},\n"
+       << "  \"frontier\": [\n";
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const FrontierPoint& p = frontier[i];
+    const ScenarioResult& r = p.result;
+    json << "    {\"model\": \"" << p.model << "\", \"policy\": \"" << p.policy
+         << "\", \"trials\": " << r.trials << ", \"failures\": " << r.failures
+         << ", \"mttf_hours\": " << fmt(r.empirical_mttf_hours(p.horizon))
+         << ", \"scrub_cells_per_hour\": "
+         << fmt(r.scrub_cells_per_hour(p.horizon))
+         << ", \"scrub_events\": " << r.scrub_events
+         << ", \"faults_injected\": " << r.faults_injected
+         << ", \"errors_corrected\": " << r.errors_corrected
+         << ", \"stuck_repairs\": " << r.stuck_repairs
+         << ", \"cells_replaced\": " << r.cells_replaced << "}"
+         << (i + 1 < frontier.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return cross_checks_ok ? 0 : 1;
+}

@@ -126,6 +126,21 @@ class PimMachine {
   /// The check-bit state (functional view of the CMEM contents).
   [[nodiscard]] const ecc::ArrayCode& check_code() const noexcept { return code_; }
 
+  // --- workload observability -----------------------------------------------
+  /// Per-row wordline-activation accounting of the MEM crossbar (see
+  /// xbar::Crossbar::row_activations): the workload signal consumed by the
+  /// scenario-diversity fault models (fault/disturbance.hpp) and the
+  /// activation-triggered scrub policies (reliability/scrub_policy.hpp).
+  /// Campaign-local observability -- not checkpointed; restore() leaves
+  /// the history untouched and reset starts it fresh.
+  [[nodiscard]] std::uint64_t mem_row_activations(std::size_t r) const {
+    return mem_.row_activations(r);
+  }
+  [[nodiscard]] std::vector<std::uint64_t> mem_row_activation_snapshot() const {
+    return mem_.row_activation_snapshot();
+  }
+  void reset_mem_row_activations() noexcept { mem_.reset_row_activations(); }
+
   // --- checkpointing (arch/checkpoint.hpp) ---------------------------------
   /// MEM crossbar counter snapshot: the machine's mem_cycles accounting is
   /// derived from the crossbar's own counter, so checkpoints must carry it.

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "fault/injector.hpp"
@@ -36,6 +37,13 @@ enum class BurstShape : unsigned char {
   return "?";
 }
 
+/// Bounding box {rows, cols} of a full (unclipped) burst of `length` cells:
+/// 1 x length, length x 1, or for kSquare the truncated row-major fill of a
+/// ceil(sqrt(length))-sided patch (ceil(length/side) rows by
+/// min(length, side) columns).  Length must be positive.
+[[nodiscard]] std::pair<std::size_t, std::size_t> burst_extent(
+    std::size_t length, BurstShape shape);
+
 /// Computes the cells of a burst of `length` cells anchored at (r, c),
 /// clipped to the matrix bounds.
 [[nodiscard]] std::vector<DataFlip> burst_cells(std::size_t rows,
@@ -43,8 +51,46 @@ enum class BurstShape : unsigned char {
                                                 std::size_t c, std::size_t length,
                                                 BurstShape shape);
 
-/// Flips one burst at a uniformly-random anchor; returns the flipped cells.
+/// Samples a burst anchor such that the full `length`-cell burst fits
+/// whenever the geometry admits one: uniform over the anchors whose
+/// bounding box (burst_extent) lies inside rows x cols.  Only when the
+/// array itself is smaller than the burst's extent on an axis does the
+/// anchor distribution degrade to "anywhere on that axis" and the burst
+/// clip at the edge -- the residual small-array clip.  Always consumes
+/// exactly two rng draws.
+[[nodiscard]] DataFlip sample_burst_anchor(util::Rng& rng, std::size_t rows,
+                                           std::size_t cols, std::size_t length,
+                                           BurstShape shape);
+
+/// Flips one burst at a sample_burst_anchor() anchor; returns the flipped
+/// cells.  Historically the anchor was uniform over the whole array, which
+/// silently clipped at the right/bottom edges and biased the delivered
+/// burst length downward (kSquare under-delivered even when a full patch
+/// fit elsewhere); the clamped anchor delivers exactly `length` cells
+/// whenever the array is at least burst_extent() large.
 std::vector<DataFlip> inject_burst(util::Rng& rng, util::BitMatrix& data,
                                    std::size_t length, BurstShape shape);
+
+/// Samples one correlated inter-block burst event over a rows x cols array
+/// tiled into m x m blocks (m must divide both dimensions): a primary
+/// burst at a clamped uniform anchor, plus -- independently with
+/// probability `spread_probability` each -- one secondary burst in each of
+/// the (up to 4) edge-adjacent neighbor blocks of the primary's anchor
+/// block, modeling a single strike whose charge spreads across block
+/// boundaries.  Secondary anchors are clamped inside their block so the
+/// secondary lands in the neighbor it models.  The returned cells are
+/// deduplicated (overlapping sub-bursts must not XOR-cancel), sorted by
+/// (r, c).  Neighbor order (up, down, left, right) and draw order are
+/// fixed, so a given rng stream reproduces the event exactly.
+[[nodiscard]] std::vector<DataFlip> correlated_burst_cells(
+    util::Rng& rng, std::size_t rows, std::size_t cols, std::size_t m,
+    std::size_t length, BurstShape shape, double spread_probability);
+
+/// Flips one correlated_burst_cells() event; returns the flipped cells.
+std::vector<DataFlip> inject_correlated_bursts(util::Rng& rng,
+                                               util::BitMatrix& data,
+                                               std::size_t m, std::size_t length,
+                                               BurstShape shape,
+                                               double spread_probability);
 
 }  // namespace pimecc::fault

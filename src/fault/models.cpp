@@ -1,6 +1,7 @@
 #include "fault/models.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <random>
 #include <stdexcept>
 
@@ -36,14 +37,27 @@ DriftModel::DriftModel(std::size_t cells, double drift_per_hour_mean,
 std::vector<std::size_t> DriftModel::advance(util::Rng& rng, double hours) {
   std::vector<std::size_t> newly_flipped;
   if (hours <= 0.0) return newly_flipped;
-  // std::normal_distribution requires a strictly positive stddev; a zero
-  // spread degenerates to deterministic drift.
-  const bool deterministic = stddev_ == 0.0;
+  if (stddev_ == 0.0) {
+    // Deterministic drift: no distribution object, no rng consumption.
+    for (std::size_t i = 0; i < accum_.size(); ++i) {
+      if (flipped_[i]) continue;
+      accum_[i] += mean_ * hours;
+      if (accum_[i] >= threshold_) {
+        flipped_[i] = true;
+        newly_flipped.push_back(i);
+      }
+    }
+    return newly_flipped;
+  }
+  // The window's drift is the sum of independent per-hour gaussian steps,
+  // so its variance grows linearly with `hours` and the stddev with
+  // sqrt(hours) -- advance(2h) must be distributed like advance(1h) twice
+  // (the clamp at 0 keeps accumulation monotone in either chunking).
   std::normal_distribution<double> step(mean_ * hours,
-                                        deterministic ? 1.0 : stddev_ * hours);
+                                        stddev_ * std::sqrt(hours));
   for (std::size_t i = 0; i < accum_.size(); ++i) {
     if (flipped_[i]) continue;
-    accum_[i] += deterministic ? mean_ * hours : std::max(0.0, step(rng));
+    accum_[i] += std::max(0.0, step(rng));
     if (accum_[i] >= threshold_) {
       flipped_[i] = true;
       newly_flipped.push_back(i);
@@ -59,6 +73,34 @@ void DriftModel::refresh() noexcept {
 std::size_t DriftModel::flipped_count() const noexcept {
   return static_cast<std::size_t>(
       std::count(flipped_.begin(), flipped_.end(), true));
+}
+
+StuckAtSet::StuckAtSet(std::size_t replace_after_repairs)
+    : replace_after_(replace_after_repairs) {
+  if (replace_after_repairs == 0) {
+    throw std::invalid_argument(
+        "StuckAtSet: replace_after_repairs must be >= 1");
+  }
+}
+
+bool StuckAtSet::mark(std::size_t cell) {
+  return stuck_.emplace(cell, 0).second;
+}
+
+bool StuckAtSet::on_repair(std::size_t cell) {
+  const auto it = stuck_.find(cell);
+  if (it == stuck_.end()) {
+    throw std::logic_error("StuckAtSet::on_repair: cell is not stuck");
+  }
+  if (++it->second < replace_after_) return false;
+  stuck_.erase(it);
+  ++replaced_;
+  return true;
+}
+
+void StuckAtSet::clear() noexcept {
+  stuck_.clear();
+  replaced_ = 0;
 }
 
 }  // namespace pimecc::fault

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -73,6 +74,43 @@ class DriftModel {
   double mean_;
   double stddev_;
   double threshold_;
+};
+
+/// Transient-vs-stuck-at bookkeeping for the scenario engine
+/// (reliability/scenario.hpp).  A transient upset vanishes once the ECC
+/// repairs the cell; a stuck-at cell's device is latched at the wrong
+/// resistance state, so every repair is immediately undone -- the cell
+/// re-asserts its faulty value after each scrub -- until the controller
+/// gives up and remaps it to a spare after `replace_after_repairs`
+/// repairs, at which point the (spare) cell holds the correct value for
+/// good.  Cells are identified by caller-defined flat ids.
+class StuckAtSet {
+ public:
+  /// `replace_after_repairs` must be >= 1 (a cell replaced after 0 repairs
+  /// would never have been stuck at all).
+  explicit StuckAtSet(std::size_t replace_after_repairs);
+
+  /// Latches `cell` at its current (faulty) value.  Returns false if it
+  /// was already stuck (no state change).
+  bool mark(std::size_t cell);
+  [[nodiscard]] bool is_stuck(std::size_t cell) const {
+    return stuck_.count(cell) != 0;
+  }
+  /// Records one ECC repair of a stuck cell.  Returns true when this
+  /// repair reached the replacement threshold: the cell is remapped to a
+  /// spare, leaves the set, and stays repaired.  Returns false while the
+  /// cell remains stuck (the repair is immediately re-flipped).  Throws
+  /// std::logic_error if `cell` is not stuck.
+  bool on_repair(std::size_t cell);
+
+  [[nodiscard]] std::size_t stuck_count() const noexcept { return stuck_.size(); }
+  [[nodiscard]] std::size_t replaced_count() const noexcept { return replaced_; }
+  void clear() noexcept;
+
+ private:
+  std::unordered_map<std::size_t, std::size_t> stuck_;  ///< cell -> repairs so far
+  std::size_t replace_after_;
+  std::size_t replaced_ = 0;
 };
 
 }  // namespace pimecc::fault

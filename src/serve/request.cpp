@@ -14,6 +14,7 @@ std::string_view kind_name(RequestKind kind) noexcept {
     case RequestKind::kRun: return "run";
     case RequestKind::kMttf: return "mttf";
     case RequestKind::kSweep: return "sweep";
+    case RequestKind::kScenario: return "scenario";
   }
   return "?";
 }
@@ -51,6 +52,8 @@ bool parse_request(std::string_view line, Request& out, std::string& error) {
     request.kind = RequestKind::kMttf;
   } else if (tokens[0] == "sweep") {
     request.kind = RequestKind::kSweep;
+  } else if (tokens[0] == "scenario") {
+    request.kind = RequestKind::kScenario;
   } else {
     error = "unknown request kind '" + std::string(tokens[0]) + "'";
     return false;
@@ -128,6 +131,16 @@ bool parse_request(std::string_view line, Request& out, std::string& error) {
       if (!double_field(request.fit_high)) return false;
     } else if (key == "ppd") {
       if (!size_field(request.points_per_decade)) return false;
+    } else if (key == "model") {
+      if (value.empty()) return bad_value();
+      request.model = std::string(value);
+    } else if (key == "policy") {
+      if (value.empty()) return bad_value();
+      request.policy = std::string(value);
+    } else if (key == "trials") {
+      if (!size_field(request.trials)) return false;
+    } else if (key == "horizon") {
+      if (!double_field(request.horizon_hours)) return false;
     } else {
       error = "unknown key '" + std::string(key) + "'";
       return false;
@@ -168,6 +181,12 @@ std::string format_response(const Response& response) {
       os << " points=" << response.sweep_points
          << " min_improvement=" << response.min_improvement
          << " max_improvement=" << response.max_improvement;
+      break;
+    case RequestKind::kScenario:
+      os << " trials=" << response.trials_run
+         << " failures=" << response.failures
+         << " mttf_h=" << response.scenario_mttf_hours
+         << " scrub_cells_per_h=" << response.scrub_cells_per_hour;
       break;
   }
   return os.str();

@@ -5,10 +5,11 @@
 // `kind key=value ...` form -- the trace format the daemon reads and the
 // sweep driver generates:
 //
-//   map   circuit=ctrl width=1020 n=1020 m=15 pcs=3 coverage=both minpcs=0
-//   run   circuit=ctrl n=1020 m=15 seed=42
-//   mttf  fit=1e-3 period=24 n=1020 m=15 gib=1
-//   sweep fit_low=1e-4 fit_high=1 ppd=2 period=24 n=1020 m=15 gib=1
+//   map      circuit=ctrl width=1020 n=1020 m=15 pcs=3 coverage=both minpcs=0
+//   run      circuit=ctrl n=1020 m=15 seed=42
+//   mttf     fit=1e-3 period=24 n=1020 m=15 gib=1
+//   sweep    fit_low=1e-4 fit_high=1 ppd=2 period=24 n=1020 m=15 gib=1
+//   scenario model=mixed policy=hotrow n=60 m=15 trials=64 horizon=240 fit=1e-3 seed=7
 //
 // Every numeric field goes through util/parse's strict helpers, so a
 // malformed line becomes a rejected request (Response.ok == false), never
@@ -24,7 +25,7 @@
 
 namespace pimecc::serve {
 
-enum class RequestKind : unsigned char { kMap, kRun, kMttf, kSweep };
+enum class RequestKind : unsigned char { kMap, kRun, kMttf, kSweep, kScenario };
 
 [[nodiscard]] std::string_view kind_name(RequestKind kind) noexcept;
 
@@ -52,6 +53,15 @@ struct Request {
   double fit_low = 1e-4;
   double fit_high = 1.0;
   std::size_t points_per_decade = 2;
+
+  // kScenario: Monte Carlo lifetime under a named fault-model preset and
+  // scrub-policy preset (reliability/scenario.hpp), at the canonical
+  // workload; `period` sets the policy's full-scrub/backstop period and
+  // `fit` the SER.
+  std::string model = "iid";       ///< rel::fault_preset_names()
+  std::string policy = "periodic"; ///< rel::scrub_policy_preset_names()
+  std::size_t trials = 64;
+  double horizon_hours = 240.0;
 };
 
 /// Parses one trace line.  Returns false and sets `error` on an unknown
@@ -86,6 +96,12 @@ struct Response {
   std::size_t sweep_points = 0;
   double min_improvement = 0.0;
   double max_improvement = 0.0;
+
+  // kScenario
+  std::size_t trials_run = 0;
+  std::size_t failures = 0;
+  double scenario_mttf_hours = 0.0;
+  double scrub_cells_per_hour = 0.0;
 };
 
 /// Renders a response as one `ok ...` / `error ...` line (no newline).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "reliability/analytic.hpp"
+#include "reliability/scenario.hpp"
 #include "simpler/protected_vm.hpp"
 #include "util/executor.hpp"
 #include "util/rng.hpp"
@@ -111,6 +112,34 @@ Response Server::handle(const Request& request) {
         }
         first = false;
       }
+      break;
+    }
+    case RequestKind::kScenario: {
+      rel::ScenarioConfig config;
+      config.n = request.n;
+      config.m = request.m;
+      config.trials = request.trials;
+      config.max_hours = request.horizon_hours;
+      // Serial per request: the batch itself is the parallelism axis
+      // (execute_batch fans requests across executor lanes).
+      config.threads = 1;
+      config.workload = rel::canonical_workload();
+      if (!rel::apply_fault_preset(request.model, request.fit_per_bit,
+                                   config.faults)) {
+        throw std::invalid_argument("unknown fault model '" + request.model + "'");
+      }
+      if (!rel::apply_policy_preset(request.policy, config.policy)) {
+        throw std::invalid_argument("unknown scrub policy '" + request.policy +
+                                    "'");
+      }
+      config.policy.period_hours = request.period_hours;
+      // Pure function of the request: the explicit seed drives the campaign.
+      util::Rng rng(request.seed);
+      const rel::ScenarioResult result = rel::run_scenario(config, rng);
+      response.trials_run = result.trials;
+      response.failures = result.failures;
+      response.scenario_mttf_hours = result.empirical_mttf_hours(config.max_hours);
+      response.scrub_cells_per_hour = result.scrub_cells_per_hour(config.max_hours);
       break;
     }
   }

@@ -1,5 +1,6 @@
 #include "xbar/crossbar.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -12,6 +13,7 @@ Crossbar::Crossbar(std::size_t n_rows, std::size_t n_cols) : mat_(n_rows, n_cols
     throw std::invalid_argument("Crossbar: dimensions must be positive");
   }
   ones_cols_ = util::BitVector(n_cols, true);
+  row_activation_extra_.assign(n_rows, 0);
 }
 
 void Crossbar::write_row(std::size_t r, const util::BitVector& data) {
@@ -22,6 +24,7 @@ void Crossbar::write_row(std::size_t r, const util::BitVector& data) {
     throw std::invalid_argument("Crossbar::write_row: size mismatch");
   }
   mat_.row(r) = data;
+  ++row_activation_extra_[r];
   ++cycles_;
 }
 
@@ -33,6 +36,7 @@ void Crossbar::write_column(std::size_t c, const util::BitVector& data) {
     throw std::invalid_argument("Crossbar::write_column: size mismatch");
   }
   mat_.set_column(c, data);
+  ++broadcast_activations_;
   ++cycles_;
 }
 
@@ -40,6 +44,7 @@ util::BitVector Crossbar::read_row(std::size_t r) {
   if (r >= rows()) {
     throw std::out_of_range("Crossbar::read_row: row out of range");
   }
+  ++row_activation_extra_[r];
   ++cycles_;
   return mat_.row(r);
 }
@@ -48,6 +53,7 @@ util::BitVector Crossbar::read_column(std::size_t c) {
   if (c >= cols()) {
     throw std::out_of_range("Crossbar::read_column: column out of range");
   }
+  ++broadcast_activations_;
   ++cycles_;
   return mat_.column(c);
 }
@@ -57,6 +63,7 @@ void Crossbar::write_bit(std::size_t r, std::size_t c, bool value) {
     throw std::out_of_range("Crossbar::write_bit: index out of range");
   }
   mat_.set(r, c, value);
+  ++row_activation_extra_[r];
   ++cycles_;
 }
 
@@ -64,6 +71,7 @@ bool Crossbar::read_bit(std::size_t r, std::size_t c) {
   if (r >= rows() || c >= cols()) {
     throw std::out_of_range("Crossbar::read_bit: index out of range");
   }
+  ++row_activation_extra_[r];
   ++cycles_;
   return mat_.get(r, c);
 }
@@ -147,6 +155,15 @@ void Crossbar::magic_init(Orientation o, std::span<const std::size_t> lines,
     // Lines are rows: OR the lane (column) mask into each selected row.
     const util::BitVector& mask = col_lane_mask(lanes, /*require_distinct=*/false);
     for (const std::size_t line : lines) mat_.row(line) |= mask;
+  }
+  // Activation accounting: kColumn drives the gate-line wordlines; kRow
+  // drives the selected rows' wordlines (all of them when lanes is empty).
+  if (o == Orientation::kColumn) {
+    for (const std::size_t line : lines) ++row_activation_extra_[line];
+  } else if (lanes.empty()) {
+    ++broadcast_activations_;
+  } else {
+    for (const std::size_t lane : lanes) ++row_activation_extra_[lane];
   }
   ++cycles_;
   ++init_cycles_;
@@ -247,6 +264,16 @@ OpResult Crossbar::magic_nor(Orientation o, std::span<const std::size_t> in_line
     }
     result.violations = violations;
   }
+  // Activation accounting (see magic_init): kColumn's gate lines are the
+  // driven wordlines; kRow drives the selected lane rows.
+  if (o == Orientation::kColumn) {
+    for (const std::size_t line : in_lines) ++row_activation_extra_[line];
+    ++row_activation_extra_[out_line];
+  } else if (lanes.empty()) {
+    ++broadcast_activations_;
+  } else {
+    for (const std::size_t lane : lanes) ++row_activation_extra_[lane];
+  }
   ++cycles_;
   ++nor_ops_;
   return result;
@@ -262,6 +289,24 @@ void Crossbar::reset_counters() noexcept {
   cycles_ = 0;
   nor_ops_ = 0;
   init_cycles_ = 0;
+}
+
+std::uint64_t Crossbar::row_activations(std::size_t r) const {
+  if (r >= rows()) {
+    throw std::out_of_range("Crossbar::row_activations: row out of range");
+  }
+  return broadcast_activations_ + row_activation_extra_[r];
+}
+
+std::vector<std::uint64_t> Crossbar::row_activation_snapshot() const {
+  std::vector<std::uint64_t> snapshot(row_activation_extra_);
+  for (std::uint64_t& count : snapshot) count += broadcast_activations_;
+  return snapshot;
+}
+
+void Crossbar::reset_row_activations() noexcept {
+  broadcast_activations_ = 0;
+  std::fill(row_activation_extra_.begin(), row_activation_extra_.end(), 0);
 }
 
 }  // namespace pimecc::xbar

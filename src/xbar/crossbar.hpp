@@ -124,6 +124,23 @@ class Crossbar {
     init_cycles_ = counters.init_cycles;
   }
 
+  // --- per-row activation accounting (scenario-diversity workloads) --------
+  /// How many times row r has been driven as a wordline since the last
+  /// reset: controller row/bit accesses plus MAGIC operations whose gate
+  /// lines are rows (kColumn orientation counts every in/out/init line).
+  /// Operations that drive every wordline at once -- column accesses and
+  /// kRow-orientation MAGIC over all lanes -- are tallied in a single
+  /// broadcast counter instead of rows() per-row increments, keeping the
+  /// hot path O(lines) per operation.  This is campaign-local
+  /// observability feeding fault::DisturbanceModel and the
+  /// activation-triggered scrub policies; it is deliberately NOT part of
+  /// Counters, so checkpoint formats are unchanged and a restored machine
+  /// starts its activation history fresh.
+  [[nodiscard]] std::uint64_t row_activations(std::size_t r) const;
+  /// Dense snapshot (broadcast + per-row extra), length rows().
+  [[nodiscard]] std::vector<std::uint64_t> row_activation_snapshot() const;
+  void reset_row_activations() noexcept;
+
  private:
   void check_line(Orientation o, std::size_t line, const char* what) const;
   void check_lane(Orientation o, std::size_t lane) const;
@@ -144,6 +161,8 @@ class Crossbar {
   std::uint64_t cycles_ = 0;
   std::uint64_t nor_ops_ = 0;
   std::uint64_t init_cycles_ = 0;
+  std::uint64_t broadcast_activations_ = 0;     ///< all-wordline drives
+  std::vector<std::uint64_t> row_activation_extra_;  ///< addressed drives
 
   // Scratch buffers reused across operations so the hot path is
   // allocation-free in steady state.

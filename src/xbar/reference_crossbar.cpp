@@ -1,5 +1,6 @@
 #include "xbar/reference_crossbar.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@ ReferenceCrossbar::ReferenceCrossbar(std::size_t n_rows, std::size_t n_cols)
   if (n_rows == 0 || n_cols == 0) {
     throw std::invalid_argument("ReferenceCrossbar: dimensions must be positive");
   }
+  row_activation_extra_.assign(n_rows, 0);
 }
 
 void ReferenceCrossbar::write_row(std::size_t r, const util::BitVector& data) {
@@ -21,6 +23,7 @@ void ReferenceCrossbar::write_row(std::size_t r, const util::BitVector& data) {
     throw std::invalid_argument("ReferenceCrossbar::write_row: size mismatch");
   }
   for (std::size_t c = 0; c < cols(); ++c) mat_.set(r, c, data.get(c));
+  ++row_activation_extra_[r];
   ++cycles_;
 }
 
@@ -32,6 +35,7 @@ void ReferenceCrossbar::write_column(std::size_t c, const util::BitVector& data)
     throw std::invalid_argument("ReferenceCrossbar::write_column: size mismatch");
   }
   for (std::size_t r = 0; r < rows(); ++r) mat_.set(r, c, data.get(r));
+  ++broadcast_activations_;
   ++cycles_;
 }
 
@@ -39,6 +43,7 @@ util::BitVector ReferenceCrossbar::read_row(std::size_t r) {
   if (r >= rows()) {
     throw std::out_of_range("ReferenceCrossbar::read_row: row out of range");
   }
+  ++row_activation_extra_[r];
   ++cycles_;
   util::BitVector out(cols());
   for (std::size_t c = 0; c < cols(); ++c) out.set(c, mat_.get(r, c));
@@ -49,6 +54,7 @@ util::BitVector ReferenceCrossbar::read_column(std::size_t c) {
   if (c >= cols()) {
     throw std::out_of_range("ReferenceCrossbar::read_column: column out of range");
   }
+  ++broadcast_activations_;
   ++cycles_;
   util::BitVector out(rows());
   for (std::size_t r = 0; r < rows(); ++r) out.set(r, mat_.get(r, c));
@@ -60,6 +66,7 @@ void ReferenceCrossbar::write_bit(std::size_t r, std::size_t c, bool value) {
     throw std::out_of_range("ReferenceCrossbar::write_bit: index out of range");
   }
   mat_.set(r, c, value);
+  ++row_activation_extra_[r];
   ++cycles_;
 }
 
@@ -67,6 +74,7 @@ bool ReferenceCrossbar::read_bit(std::size_t r, std::size_t c) {
   if (r >= rows() || c >= cols()) {
     throw std::out_of_range("ReferenceCrossbar::read_bit: index out of range");
   }
+  ++row_activation_extra_[r];
   ++cycles_;
   return mat_.get(r, c);
 }
@@ -119,6 +127,15 @@ void ReferenceCrossbar::magic_init(Orientation o, std::span<const std::size_t> l
       for (const std::size_t line : lines) init_cell(lane, line);
     }
   }
+  // Activation accounting, identical to Crossbar: kColumn drives the
+  // gate-line wordlines; kRow drives the selected lane rows.
+  if (o == Orientation::kColumn) {
+    for (const std::size_t line : lines) ++row_activation_extra_[line];
+  } else if (lanes.empty()) {
+    ++broadcast_activations_;
+  } else {
+    for (const std::size_t lane : lanes) ++row_activation_extra_[lane];
+  }
   ++cycles_;
   ++init_cycles_;
 }
@@ -167,6 +184,16 @@ OpResult ReferenceCrossbar::magic_nor(Orientation o,
   } else {
     for (const std::size_t lane : lanes) apply_lane(lane);
   }
+  // Activation accounting, identical to Crossbar: kColumn drives the
+  // gate-line wordlines; kRow drives the selected lane rows.
+  if (o == Orientation::kColumn) {
+    for (const std::size_t line : in_lines) ++row_activation_extra_[line];
+    ++row_activation_extra_[out_line];
+  } else if (lanes.empty()) {
+    ++broadcast_activations_;
+  } else {
+    for (const std::size_t lane : lanes) ++row_activation_extra_[lane];
+  }
   ++cycles_;
   ++nor_ops_;
   return result;
@@ -183,6 +210,25 @@ void ReferenceCrossbar::reset_counters() noexcept {
   cycles_ = 0;
   nor_ops_ = 0;
   init_cycles_ = 0;
+}
+
+std::uint64_t ReferenceCrossbar::row_activations(std::size_t r) const {
+  if (r >= rows()) {
+    throw std::out_of_range(
+        "ReferenceCrossbar::row_activations: row out of range");
+  }
+  return broadcast_activations_ + row_activation_extra_[r];
+}
+
+std::vector<std::uint64_t> ReferenceCrossbar::row_activation_snapshot() const {
+  std::vector<std::uint64_t> snapshot(row_activation_extra_);
+  for (std::uint64_t& count : snapshot) count += broadcast_activations_;
+  return snapshot;
+}
+
+void ReferenceCrossbar::reset_row_activations() noexcept {
+  broadcast_activations_ = 0;
+  std::fill(row_activation_extra_.begin(), row_activation_extra_.end(), 0);
 }
 
 }  // namespace pimecc::xbar

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "util/bitmatrix.hpp"
 #include "util/bitvector.hpp"
@@ -55,6 +56,13 @@ class ReferenceCrossbar {
   [[nodiscard]] std::uint64_t init_cycles() const noexcept { return init_cycles_; }
   void reset_counters() noexcept;
 
+  /// Per-row wordline-activation accounting, identical in semantics and
+  /// counts to Crossbar (see crossbar.hpp): differential tests pin the two
+  /// engines' activation snapshots against each other on random programs.
+  [[nodiscard]] std::uint64_t row_activations(std::size_t r) const;
+  [[nodiscard]] std::vector<std::uint64_t> row_activation_snapshot() const;
+  void reset_row_activations() noexcept;
+
  private:
   void check_line(Orientation o, std::size_t line, const char* what) const;
   void check_lane(Orientation o, std::size_t lane) const;
@@ -67,6 +75,8 @@ class ReferenceCrossbar {
   std::uint64_t cycles_ = 0;
   std::uint64_t nor_ops_ = 0;
   std::uint64_t init_cycles_ = 0;
+  std::uint64_t broadcast_activations_ = 0;
+  std::vector<std::uint64_t> row_activation_extra_;
 };
 
 }  // namespace pimecc::xbar

@@ -3,6 +3,7 @@
 // validate-before-mutate), and burst injection.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <unordered_set>
 #include <vector>
@@ -78,6 +79,51 @@ TEST(DriftModel, ZeroOrNegativeWindowIsNoOp) {
   util::Rng rng(5);
   EXPECT_TRUE(model.advance(rng, 0.0).empty());
   EXPECT_TRUE(model.advance(rng, -1.0).empty());
+}
+
+TEST(DriftModel, DeterministicPathConsumesNoRandomness) {
+  DriftModel model(50, 1.0, 0.0, 10.0);
+  util::Rng rng(9);
+  const util::Rng::State before = rng.state();
+  (void)model.advance(rng, 5.0);
+  EXPECT_EQ(rng.state(), before);
+}
+
+// Regression for the sqrt-of-time law: a Wiener accumulation advanced in
+// one 8 h step must be distributed like eight 1 h steps (variance grows
+// linearly with time, so the per-advance stddev scales with sqrt(hours)).
+// The historical stddev * hours scaling made the single-shot path ~3x too
+// noisy, which this flip-fraction band comfortably detects: with threshold
+// 10 and mean drift 1/h, N(8, sqrt(8)) crosses with p ~ 0.24 while the
+// buggy N(8, 8) crossed with p ~ 0.40.
+// Regression for the sqrt-hours fix: one advance(8h) must be distributed
+// like eight advance(1h) calls.  The historical stddev * hours scaling made
+// the one-shot window far noisier than the chunked walk.  stddev is kept
+// well below the mean so the per-step clamp at 0 (which keeps accumulation
+// monotone but truncates the left tail when active) stays out of the
+// comparison.
+TEST(DriftModel, ChunkedAndUnchunkedAdvanceAgreeInDistribution) {
+  constexpr std::size_t kCells = 20000;
+  constexpr double kThreshold = 8.5;
+  DriftModel one_shot(kCells, 1.0, 0.25, kThreshold);
+  DriftModel chunked(kCells, 1.0, 0.25, kThreshold);
+  util::Rng rng_one(101), rng_chunks(202);
+  (void)one_shot.advance(rng_one, 8.0);
+  for (int step = 0; step < 8; ++step) (void)chunked.advance(rng_chunks, 1.0);
+  const double p_one =
+      static_cast<double>(one_shot.flipped_count()) / kCells;
+  const double p_chunks =
+      static_cast<double>(chunked.flipped_count()) / kCells;
+  // 5-sigma band on the difference of two binomial proportions.
+  const double sigma = std::sqrt(
+      (p_one * (1 - p_one) + p_chunks * (1 - p_chunks)) / kCells);
+  EXPECT_NEAR(p_one, p_chunks, 5.0 * sigma + 1e-9)
+      << "one-shot " << p_one << " vs chunked " << p_chunks;
+  // Both must sit near the analytic N(8, 0.25 * sqrt(8)) crossing
+  // probability over 8.5, 1 - Phi(0.707) ~ 0.2398; the buggy
+  // stddev * hours scaling would put the one-shot run near 0.401.
+  EXPECT_NEAR(p_one, 0.2398, 0.03);
+  EXPECT_NEAR(p_chunks, 0.2398, 0.03);
 }
 
 // -------------------------------------------------------------- injector
@@ -368,6 +414,79 @@ TEST(Burst, ValidatesLengthAndAnchor) {
                std::out_of_range);
   EXPECT_THROW((void)burst_cells(8, 8, 0, 8, 1, BurstShape::kVertical),
                std::out_of_range);
+}
+
+TEST(Burst, BurstExtentMatchesShapeGeometry) {
+  EXPECT_EQ(burst_extent(4, BurstShape::kHorizontal),
+            (std::pair<std::size_t, std::size_t>{1, 4}));
+  EXPECT_EQ(burst_extent(4, BurstShape::kVertical),
+            (std::pair<std::size_t, std::size_t>{4, 1}));
+  // length 5 -> side 3, 2 rows (ceil(5/3)) x 3 cols.
+  EXPECT_EQ(burst_extent(5, BurstShape::kSquare),
+            (std::pair<std::size_t, std::size_t>{2, 3}));
+  EXPECT_EQ(burst_extent(9, BurstShape::kSquare),
+            (std::pair<std::size_t, std::size_t>{3, 3}));
+  EXPECT_THROW((void)burst_extent(0, BurstShape::kSquare),
+               std::invalid_argument);
+}
+
+// Regression for the anchor-clamp fix: the historical uniform-over-the-
+// array anchor silently clipped bursts at the right/bottom edges, so a
+// "length 5" burst often delivered fewer cells.  With the clamped anchor,
+// every burst whose extent fits the array delivers exactly `length` cells,
+// for every shape, on every draw.
+TEST(Burst, InjectBurstDeliversFullLengthWheneverGeometryAdmits) {
+  util::Rng rng(2024);
+  for (const BurstShape shape :
+       {BurstShape::kHorizontal, BurstShape::kVertical, BurstShape::kSquare}) {
+    for (const std::size_t length : {1u, 4u, 5u, 7u, 8u}) {
+      for (int draw = 0; draw < 200; ++draw) {
+        util::BitMatrix data(8, 8);
+        const auto cells = inject_burst(rng, data, length, shape);
+        ASSERT_EQ(cells.size(), length)
+            << to_string(shape) << " length " << length << " draw " << draw;
+        EXPECT_EQ(data.count(), length);
+        for (const DataFlip& f : cells) {
+          EXPECT_LT(f.r, 8u);
+          EXPECT_LT(f.c, 8u);
+        }
+      }
+    }
+  }
+}
+
+// The residual small-array clip: when the array itself is smaller than the
+// burst's extent on an axis, anchors span the whole axis and the burst may
+// clip -- but never to zero cells.
+TEST(Burst, SmallerArrayThanExtentStillInjectsSomething) {
+  util::Rng rng(7);
+  for (int draw = 0; draw < 100; ++draw) {
+    util::BitMatrix data(3, 3);
+    const auto cells = inject_burst(rng, data, 5, BurstShape::kVertical);
+    EXPECT_GE(cells.size(), 1u);
+    EXPECT_LE(cells.size(), 3u);  // at most the column height
+  }
+}
+
+TEST(Burst, CorrelatedBurstsStayDedupedAndInBounds) {
+  util::Rng rng(99);
+  for (int draw = 0; draw < 200; ++draw) {
+    const auto cells =
+        correlated_burst_cells(rng, 60, 60, 15, 4, BurstShape::kSquare, 0.8);
+    ASSERT_GE(cells.size(), 4u);  // primary always delivers in a 60x60 array
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (const DataFlip& f : cells) {
+      EXPECT_LT(f.r, 60u);
+      EXPECT_LT(f.c, 60u);
+      EXPECT_TRUE(seen.insert({f.r, f.c}).second) << "duplicate cell emitted";
+    }
+  }
+  EXPECT_THROW((void)correlated_burst_cells(rng, 60, 60, 7, 4,
+                                            BurstShape::kSquare, 0.5),
+               std::invalid_argument);  // m must divide the dimensions
+  EXPECT_THROW((void)correlated_burst_cells(rng, 60, 60, 15, 4,
+                                            BurstShape::kSquare, 1.5),
+               std::invalid_argument);  // probability out of range
 }
 
 TEST(Burst, InjectBurstIsDeterministicAndUndoable) {

@@ -137,4 +137,18 @@ else
   echo "==== bench_serving not built; skipping smoke bench ===="
 fi
 
+# And the scenario-diversity layer: the smoke configuration runs the
+# thread-determinism gate (bit-identical campaigns at 1 vs 4 lanes), the
+# exact zero-rate scrub-accounting cross-check against the lifetime engine,
+# the iid statistical pin, and the stuck-at accounting invariants, and exits
+# non-zero on any divergence.
+scenarios_bin="$release_dir/bench/bench_scenarios"
+if [[ -n "$release_dir" && -x "$scenarios_bin" ]]; then
+  echo "==== [Release] bench_scenarios (smoke) ===="
+  "$scenarios_bin" --smoke --out="$release_dir/BENCH_scenarios.json"
+  echo "archived $release_dir/BENCH_scenarios.json"
+else
+  echo "==== bench_scenarios not built; skipping smoke bench ===="
+fi
+
 echo "==== CI gate passed (Debug + Release) ===="

@@ -8,6 +8,8 @@
 //                [--threads K] [--chunk T] [--checkpoint PATH] [--seed S]
 //   pimecc sweep [--fit-low F] [--fit-high F] [--ppd N] [--period H]
 //                [--n N] [--m M] [--gib G] [--batch B] [--lanes L]
+//   pimecc sweep --scenarios [--fit F] [--period H] [--n N] [--m M]
+//                [--trials T] [--horizon H] [--seed S] [--batch B] [--lanes L]
 //   pimecc serve --trace FILE|- [--batch B] [--lanes L] [--stats]
 //
 // `map` is exactly the pimecc_map tool (same implementation, same exit
@@ -16,7 +18,10 @@
 // also runs the Monte Carlo lifetime engine, resumable via --checkpoint
 // (interrupt it, rerun the identical command, and it continues from the
 // last completed chunk with bit-identical results).  `sweep` drives one
-// analytic mttf request per sweep point through the batched server.
+// analytic mttf request per sweep point through the batched server; with
+// --scenarios it instead drives one Monte Carlo scenario request per
+// fault-model x scrub-policy combination (reliability/scenario.hpp) and
+// prints the MTTF-vs-scrub-overhead grid.
 // `serve` is the daemon loop: it reads request lines (see
 // serve/request.hpp for the format) from a trace file or stdin, serves
 // them in admission batches on the shared executor, and prints one
@@ -33,6 +38,7 @@
 
 #include "app.hpp"
 #include "reliability/lifetime.hpp"
+#include "reliability/scenario.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
@@ -50,6 +56,8 @@ void usage(std::ostream& os) {
         "         [--threads K] [--chunk T] [--checkpoint PATH] [--seed S]\n"
         "  sweep  [--fit-low F] [--fit-high F] [--ppd N] [--period H]\n"
         "         [--n N] [--m M] [--gib G] [--batch B] [--lanes L]\n"
+        "  sweep  --scenarios [--fit F] [--period H] [--n N] [--m M]\n"
+        "         [--trials T] [--horizon H] [--seed S] [--batch B] [--lanes L]\n"
         "  serve  --trace FILE|- [--batch B] [--lanes L] [--stats]\n";
 }
 
@@ -188,7 +196,78 @@ int cmd_mttf(int argc, char** argv) {
   }
 }
 
+int cmd_sweep_scenarios(int argc, char** argv) {
+  serve::Request point;
+  point.kind = serve::RequestKind::kScenario;
+  point.n = 60;  // the scenario engine's tractable default, not mttf's 1020
+  point.m = 15;
+  serve::ServerConfig server_config;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scenarios") {
+      continue;
+    } else if (arg == "--fit") {
+      point.fit_per_bit =
+          tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--period") {
+      point.period_hours =
+          tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--n") {
+      point.n = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--m") {
+      point.m = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--trials") {
+      point.trials = tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--horizon") {
+      point.horizon_hours =
+          tools::flag_double(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--seed") {
+      point.seed = tools::flag_u64(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--batch") {
+      server_config.max_batch =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--lanes") {
+      server_config.lanes =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else {
+      throw tools::UsageError("sweep: unknown option '" + arg + "'");
+    }
+  }
+
+  // One Monte Carlo scenario request per fault-model x scrub-policy cell,
+  // batched through the server's queue -- the same path `serve` exercises.
+  serve::Server server(server_config);
+  struct Cell {
+    std::string_view model;
+    std::string_view policy;
+    std::uint64_t ticket;
+  };
+  std::vector<Cell> cells;
+  for (const std::string_view model : rel::fault_preset_names()) {
+    for (const std::string_view policy : rel::scrub_policy_preset_names()) {
+      serve::Request request = point;
+      request.model = std::string(model);
+      request.policy = std::string(policy);
+      cells.push_back({model, policy, server.submit(std::move(request))});
+    }
+  }
+  server.drain();
+  bool all_ok = true;
+  for (const Cell& cell : cells) {
+    const serve::Response response = server.take(cell.ticket);
+    std::cout << "model=" << cell.model << " policy=" << cell.policy << ' '
+              << serve::format_response(response) << '\n';
+    all_ok = all_ok && response.ok;
+  }
+  return all_ok ? 0 : 1;
+}
+
 int cmd_sweep(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--scenarios") {
+      return cmd_sweep_scenarios(argc, argv);
+    }
+  }
   serve::Request point;
   point.kind = serve::RequestKind::kMttf;
   double fit_low = 1e-4;
