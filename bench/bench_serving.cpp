@@ -17,7 +17,11 @@
 //     to the identical final state, field for field;
 //   - lifetime resume: a campaign advanced in uneven chunks, serialized
 //     and reloaded between chunks at varying thread counts, must be
-//     bit-identical to the uninterrupted simulate_lifetime run.
+//     bit-identical to the uninterrupted simulate_lifetime run;
+//   - admission control + deadlines: a bounded queue must reject overflow
+//     with the typed kRejected admission, an expired deadline must surface
+//     as a kDeadlineExceeded response instead of executing, and shutdown
+//     must publish kCancelled responses for every queued ticket.
 //
 // Usage: bench_serving [--smoke] [--out=PATH]
 //   --smoke    fast CI configuration (small workload, short measurements)
@@ -252,6 +256,75 @@ int main(int argc, char** argv) {
         s.count() != r.count() || s.sum() != r.sum() || s.min() != r.min() ||
         s.max() != r.max()) {
       std::cerr << "lifetime resume cross-check FAILED\n";
+      cross_checks_ok = false;
+    }
+  }
+  // ----------------------- cross-check gate: admission control + deadlines
+  // The robustness contract the serving tests pin, re-proven in the bench
+  // binary so the committed BENCH_serving.json can only come from a build
+  // whose rejection/deadline/shutdown paths behave.
+  {
+    serve::ServerConfig config;
+    config.max_pending = 4;
+    serve::Server server(config);
+    std::size_t admitted = 0;
+    std::size_t rejected = 0;
+    std::vector<std::uint64_t> tickets;
+    for (std::size_t i = 0; i < 10; ++i) {
+      const serve::Admission admission = server.try_submit(workload[i]);
+      if (admission.admitted) {
+        ++admitted;
+        tickets.push_back(admission.ticket);
+      } else {
+        if (admission.code != serve::ErrorCode::kRejected) {
+          std::cerr << "admission rejection carries the wrong code\n";
+          cross_checks_ok = false;
+        }
+        ++rejected;
+      }
+    }
+    if (admitted != 4 || rejected != 6) {
+      std::cerr << "admission control cross-check FAILED: admitted="
+                << admitted << " rejected=" << rejected << "\n";
+      cross_checks_ok = false;
+    }
+    (void)server.drain();
+    for (const std::uint64_t ticket : tickets) {
+      if (!server.take(ticket).ok) {
+        std::cerr << "admitted request failed to serve\n";
+        cross_checks_ok = false;
+      }
+    }
+
+    // An expired deadline must surface as a typed response, not execute.
+    serve::Request urgent = workload[0];
+    urgent.deadline_ms = 1e-6;
+    const std::uint64_t late_ticket = server.submit(urgent);
+    (void)server.drain();
+    const serve::Response late = server.take(late_ticket);
+    if (late.ok || late.code != serve::ErrorCode::kDeadlineExceeded) {
+      std::cerr << "deadline expiry cross-check FAILED\n";
+      cross_checks_ok = false;
+    }
+    // A generous deadline must not interfere.
+    serve::Request relaxed = workload[0];
+    relaxed.deadline_ms = 60000.0;
+    const std::uint64_t ok_ticket = server.submit(relaxed);
+    (void)server.drain();
+    if (!server.take(ok_ticket).ok) {
+      std::cerr << "relaxed deadline cross-check FAILED\n";
+      cross_checks_ok = false;
+    }
+
+    // Shutdown publishes a cancelled response for every queued ticket.
+    const std::uint64_t abandoned = server.submit(workload[1]);
+    if (server.shutdown() != 1) {
+      std::cerr << "shutdown cancellation count cross-check FAILED\n";
+      cross_checks_ok = false;
+    }
+    const serve::Response cancelled = server.take(abandoned);
+    if (cancelled.ok || cancelled.code != serve::ErrorCode::kCancelled) {
+      std::cerr << "shutdown cancellation code cross-check FAILED\n";
       cross_checks_ok = false;
     }
   }

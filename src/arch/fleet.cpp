@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "fault/injector.hpp"
 #include "util/executor.hpp"
@@ -18,13 +19,22 @@ void FleetParams::validate() const {
 
 CrossbarFleet::CrossbarFleet(const FleetParams& params) : params_(params) {
   params_.validate();
-  data_.reserve(params_.shards);
-  codes_.reserve(params_.shards);
-  for (std::size_t s = 0; s < params_.shards; ++s) {
+  const std::size_t physical = params_.shards + params_.spares;
+  data_.reserve(physical);
+  codes_.reserve(physical);
+  for (std::size_t s = 0; s < physical; ++s) {
     data_.emplace_back(params_.n, params_.n);
     codes_.emplace_back(params_.n, params_.m);
   }
-  counters_.resize(params_.shards);
+  counters_.resize(physical);
+  remap_.resize(params_.shards);
+  for (std::size_t s = 0; s < params_.shards; ++s) remap_[s] = s;
+  active_.assign(params_.shards, 1);
+  // Pop spares back to front so physical slot `shards` activates first.
+  spare_pool_.reserve(params_.spares);
+  for (std::size_t s = physical; s > params_.shards; --s) {
+    spare_pool_.push_back(s - 1);
+  }
 }
 
 void CrossbarFleet::require_shard(std::size_t shard) const {
@@ -33,19 +43,25 @@ void CrossbarFleet::require_shard(std::size_t shard) const {
   }
 }
 
-const util::BitMatrix& CrossbarFleet::data(std::size_t shard) const {
+std::size_t CrossbarFleet::backing(std::size_t shard) const {
   require_shard(shard);
-  return data_[shard];
+  if (!active_[shard]) {
+    throw std::runtime_error("CrossbarFleet: shard " + std::to_string(shard) +
+                             " is quarantined without a spare");
+  }
+  return remap_[shard];
+}
+
+const util::BitMatrix& CrossbarFleet::data(std::size_t shard) const {
+  return data_[backing(shard)];
 }
 
 const ecc::ArrayCode& CrossbarFleet::code(std::size_t shard) const {
-  require_shard(shard);
-  return codes_[shard];
+  return codes_[backing(shard)];
 }
 
 const ShardCounters& CrossbarFleet::counters(std::size_t shard) const {
-  require_shard(shard);
-  return counters_[shard];
+  return counters_[backing(shard)];
 }
 
 FleetAddress CrossbarFleet::translate(std::uint64_t bit_index) const {
@@ -67,13 +83,16 @@ void CrossbarFleet::load_random(util::Rng& rng) {
   util::parallel_for(
       util::Executor::shared(), params_.shards, params_.threads,
       [this, base_seed](std::size_t s) {
+        if (!active_[s]) return;
+        // Substream s belongs to the LOGICAL shard: a remapped shard loads
+        // the exact image its retired predecessor would have.
         util::Rng shard_rng = util::Rng::for_stream(base_seed, s);
-        util::BitMatrix& image = data_[s];
+        util::BitMatrix& image = data_[remap_[s]];
         for (auto& row : image.rows_span()) {
           util::fill_random(row, shard_rng);
         }
-        codes_[s].encode_all(image);
-        ++counters_[s].encode_passes;
+        codes_[remap_[s]].encode_all(image);
+        ++counters_[remap_[s]].encode_passes;
       });
 }
 
@@ -83,33 +102,41 @@ void CrossbarFleet::load_broadcast(const util::BitMatrix& image) {
   }
   util::parallel_for(util::Executor::shared(), params_.shards, params_.threads,
                      [this, &image](std::size_t s) {
-                       data_[s] = image;
-                       codes_[s].encode_all(data_[s]);
-                       ++counters_[s].encode_passes;
+                       if (!active_[s]) return;
+                       data_[remap_[s]] = image;
+                       codes_[remap_[s]].encode_all(data_[remap_[s]]);
+                       ++counters_[remap_[s]].encode_passes;
                      });
 }
 
 void CrossbarFleet::encode_all() {
   util::parallel_for(util::Executor::shared(), params_.shards, params_.threads,
                      [this](std::size_t s) {
-                       codes_[s].encode_all(data_[s]);
-                       ++counters_[s].encode_passes;
+                       if (!active_[s]) return;
+                       codes_[remap_[s]].encode_all(data_[remap_[s]]);
+                       ++counters_[remap_[s]].encode_passes;
                      });
 }
 
 FleetScrubReport CrossbarFleet::scrub_all() {
   std::vector<ecc::ScrubReport> reports(params_.shards);
+  std::vector<char> checked(params_.shards, 0);
   util::parallel_for(util::Executor::shared(), params_.shards, params_.threads,
-                     [this, &reports](std::size_t s) {
-                       reports[s] = codes_[s].scrub(data_[s]);
-                       ShardCounters& c = counters_[s];
+                     [this, &reports, &checked](std::size_t s) {
+                       if (!active_[s]) return;
+                       const std::size_t phys = remap_[s];
+                       reports[s] = codes_[phys].scrub(data_[phys]);
+                       checked[s] = 1;
+                       ShardCounters& c = counters_[phys];
                        ++c.scrub_passes;
                        c.corrected_data += reports[s].corrected_data;
                        c.corrected_check += reports[s].corrected_check;
                        c.uncorrectable += reports[s].uncorrectable;
                      });
   FleetScrubReport total;
-  for (const ecc::ScrubReport& r : reports) {  // shard order: deterministic
+  for (std::size_t s = 0; s < params_.shards; ++s) {  // shard order
+    if (!checked[s]) continue;  // dead shards are excluded, not zero
+    const ecc::ScrubReport& r = reports[s];
     ++total.shards_checked;
     total.blocks_checked += r.blocks_checked;
     total.clean += r.clean;
@@ -124,7 +151,9 @@ bool CrossbarFleet::all_consistent() const {
   std::vector<char> consistent(params_.shards, 0);
   util::parallel_for(util::Executor::shared(), params_.shards, params_.threads,
                      [this, &consistent](std::size_t s) {
-                       consistent[s] = codes_[s].consistent_with(data_[s]) ? 1 : 0;
+                       consistent[s] =
+                           !active_[s] ||
+                           codes_[remap_[s]].consistent_with(data_[remap_[s]]);
                      });
   return std::all_of(consistent.begin(), consistent.end(),
                      [](char ok) { return ok != 0; });
@@ -151,8 +180,11 @@ std::vector<FleetAddress> CrossbarFleet::inject_random_errors(
   flipped.reserve(count);
   for (const std::size_t bit : flat) {  // sorted ascending by contract
     const FleetAddress addr = translate(bit);
-    data_[addr.shard].flip(addr.row, addr.col);
-    ++counters_[addr.shard].injected_faults;
+    // Dead shards absorb no faults: the sampled address is dropped (the
+    // draw order is unchanged, so active shards still see the same flips).
+    if (!active_[addr.shard]) continue;
+    data_[remap_[addr.shard]].flip(addr.row, addr.col);
+    ++counters_[remap_[addr.shard]].injected_faults;
     flipped.push_back(addr);
   }
   return flipped;
@@ -160,12 +192,76 @@ std::vector<FleetAddress> CrossbarFleet::inject_random_errors(
 
 void CrossbarFleet::inject_data_error(std::size_t shard, std::size_t r,
                                       std::size_t c) {
-  require_shard(shard);
+  const std::size_t phys = backing(shard);
   if (r >= params_.n || c >= params_.n) {
     throw std::out_of_range("CrossbarFleet::inject_data_error: cell out of range");
   }
-  data_[shard].flip(r, c);
-  ++counters_[shard].injected_faults;
+  data_[phys].flip(r, c);
+  ++counters_[phys].injected_faults;
+}
+
+bool CrossbarFleet::shard_active(std::size_t shard) const {
+  require_shard(shard);
+  return active_[shard] != 0;
+}
+
+std::size_t CrossbarFleet::physical_shard(std::size_t shard) const {
+  return backing(shard);
+}
+
+bool CrossbarFleet::quarantine_shard(std::size_t shard) {
+  require_shard(shard);
+  if (!active_[shard]) return false;  // already dead
+  quarantined_.push_back(shard);
+  if (spare_pool_.empty()) {
+    active_[shard] = 0;
+    return false;
+  }
+  const std::size_t spare = spare_pool_.back();
+  spare_pool_.pop_back();
+  ++spares_activated_;
+  remap_[shard] = spare;
+  // Fresh backing: zero image with consistent checks, so the remapped
+  // shard re-enters bulk operations in a well-defined state (callers
+  // reload real content next).
+  data_[spare] = util::BitMatrix(params_.n, params_.n);
+  codes_[spare].encode_all(data_[spare]);
+  ++counters_[spare].encode_passes;
+  return true;
+}
+
+std::vector<std::size_t> CrossbarFleet::quarantine_uncorrectable() {
+  std::vector<std::uint64_t> uncorrectable(params_.shards, 0);
+  util::parallel_for(util::Executor::shared(), params_.shards, params_.threads,
+                     [this, &uncorrectable](std::size_t s) {
+                       if (!active_[s]) return;
+                       const std::size_t phys = remap_[s];
+                       const ecc::ScrubReport r = codes_[phys].scrub(data_[phys]);
+                       uncorrectable[s] = r.uncorrectable;
+                       ShardCounters& c = counters_[phys];
+                       ++c.scrub_passes;
+                       c.corrected_data += r.corrected_data;
+                       c.corrected_check += r.corrected_check;
+                       c.uncorrectable += r.uncorrectable;
+                     });
+  std::vector<std::size_t> quarantined;
+  for (std::size_t s = 0; s < params_.shards; ++s) {  // shard order
+    if (uncorrectable[s] > 0) {
+      quarantine_shard(s);
+      quarantined.push_back(s);
+    }
+  }
+  return quarantined;
+}
+
+FleetHealth CrossbarFleet::health() const {
+  FleetHealth health;
+  for (const char a : active_) health.active += a != 0 ? 1 : 0;
+  health.quarantined = quarantined_.size();
+  health.dead = params_.shards - health.active;
+  health.spares_available = spare_pool_.size();
+  health.spares_activated = spares_activated_;
+  return health;
 }
 
 ShardCounters CrossbarFleet::total_counters() const {

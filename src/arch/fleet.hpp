@@ -33,11 +33,13 @@
 
 namespace pimecc::arch {
 
-/// Shape of a fleet: `shards` independent n x n crossbars with block size m.
+/// Shape of a fleet: `shards` independent n x n crossbars with block size m,
+/// plus `spares` standby crossbars that replace quarantined shards.
 struct FleetParams {
   std::size_t n = 120;       ///< per-shard crossbar dimension
   std::size_t m = 15;        ///< ECC block size (odd, divides n)
-  std::size_t shards = 256;  ///< number of crossbar shards
+  std::size_t shards = 256;  ///< number of addressable crossbar shards
+  std::size_t spares = 0;    ///< standby shards for quarantine remapping
   std::size_t threads = 0;   ///< executor lanes for bulk ops; 0 = full width
 
   /// Throws std::invalid_argument on an empty fleet or invalid (n, m).
@@ -78,7 +80,26 @@ struct FleetScrubReport {
   bool operator==(const FleetScrubReport&) const noexcept = default;
 };
 
+/// Health summary of a fleet in (possibly) degraded operation.
+struct FleetHealth {
+  std::size_t active = 0;            ///< logical shards still serving
+  std::size_t quarantined = 0;       ///< logical shards ever quarantined
+  std::size_t dead = 0;              ///< quarantined without a spare
+  std::size_t spares_available = 0;  ///< standby shards not yet activated
+  std::size_t spares_activated = 0;
+  bool operator==(const FleetHealth&) const noexcept = default;
+};
+
 /// A sharded bank of ECC-protected crossbar images.
+///
+/// Degraded mode: logical shard s is backed by a physical image slot (the
+/// identity mapping until a quarantine).  quarantine_shard() retires the
+/// current backing; if a spare is available the logical shard is remapped
+/// onto it (zero-filled, checks encoded) and stays active, otherwise the
+/// shard goes dead and every bulk operation skips it -- campaigns complete
+/// over the surviving shards with exact bookkeeping instead of aggregating
+/// over poisoned state (reliability/fleet_reliability.hpp's
+/// run_fleet_campaign drives this end to end).
 class CrossbarFleet {
  public:
   explicit CrossbarFleet(const FleetParams& params);
@@ -124,18 +145,45 @@ class CrossbarFleet {
   /// Flips one data bit of one shard.
   void inject_data_error(std::size_t shard, std::size_t r, std::size_t c);
 
+  // --- degraded mode -------------------------------------------------------
+  /// True iff logical shard `shard` still has a backing image (never
+  /// quarantined, or remapped onto a spare).
+  [[nodiscard]] bool shard_active(std::size_t shard) const;
+  /// Current physical slot backing logical shard `shard`; throws
+  /// std::runtime_error for a dead shard.
+  [[nodiscard]] std::size_t physical_shard(std::size_t shard) const;
+  /// Retires logical shard `shard`'s backing.  Returns true when a spare
+  /// was activated (the shard stays active on a fresh zero image with
+  /// consistent checks); false when no spare remained and the shard is now
+  /// dead.  Idempotent on dead shards (returns false).
+  bool quarantine_shard(std::size_t shard);
+  /// Scrubs every active shard and quarantines those whose scrub reports
+  /// uncorrectable blocks.  Returns the quarantined logical ids in shard
+  /// order (empty when the fleet is healthy).
+  std::vector<std::size_t> quarantine_uncorrectable();
+  [[nodiscard]] FleetHealth health() const;
+
   // --- accounting ----------------------------------------------------------
-  /// Commutative shard-order merge of every shard's counters.
+  /// Commutative shard-order merge of every physical slot's counters
+  /// (quarantined slots keep their history).
   [[nodiscard]] ShardCounters total_counters() const;
 
  private:
   void require_shard(std::size_t shard) const;
+  [[nodiscard]] std::size_t backing(std::size_t shard) const;  // checked remap
 
   FleetParams params_;
-  // Structure-of-arrays over shards: parallel arrays indexed by shard id.
+  // Structure-of-arrays over PHYSICAL slots (shards + spares): parallel
+  // arrays indexed by physical id; logical shard s reaches its image via
+  // remap_[s].
   std::vector<util::BitMatrix> data_;
   std::vector<ecc::ArrayCode> codes_;
   std::vector<ShardCounters> counters_;
+  std::vector<std::size_t> remap_;        ///< logical -> physical
+  std::vector<char> active_;              ///< logical shard has a backing
+  std::vector<std::size_t> spare_pool_;   ///< unused physical spare slots
+  std::vector<std::size_t> quarantined_;  ///< logical ids, quarantine order
+  std::size_t spares_activated_ = 0;
 };
 
 }  // namespace pimecc::arch

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "arch/fleet.hpp"
 #include "reliability/lifetime.hpp"
 #include "reliability/montecarlo.hpp"
 #include "util/rng.hpp"
@@ -71,6 +72,11 @@ struct FleetShardOutcome {
   std::size_t trials_failed = 0;
   std::uint64_t flips_injected = 0;
   std::uint64_t blocks_failed = 0;
+  /// Full per-shard counters (trials/blocks_total included), so degraded
+  /// campaign totals are exactly the sum of the surviving shards' stats.
+  MonteCarloResult stats;
+  /// True when the shard was quarantined without a spare and ran no trials.
+  bool skipped = false;
   bool operator==(const FleetShardOutcome&) const noexcept = default;
 };
 
@@ -86,6 +92,38 @@ struct FleetMonteCarloResult {
 /// file comment for the substream mapping and the bit-identity contract.
 [[nodiscard]] FleetMonteCarloResult run_fleet_montecarlo(
     const FleetMonteCarloConfig& config, util::Rng& rng);
+
+/// Degradation bookkeeping of one health-aware fleet campaign.
+struct FleetDegradationReport {
+  /// Logical shards quarantined by the preflight scrub, in shard order.
+  std::vector<std::size_t> quarantined;
+  std::size_t spares_activated = 0;  ///< quarantined shards remapped + rerun
+  std::size_t shards_excluded = 0;   ///< quarantined shards with no spare
+  std::size_t trials_skipped = 0;    ///< excluded shards x trials_per_shard
+  [[nodiscard]] bool degraded() const noexcept { return !quarantined.empty(); }
+};
+
+/// Health-aware campaign outcome: totals cover ONLY the shards that ran.
+struct FleetCampaignResult {
+  MonteCarloResult total;
+  std::vector<FleetShardOutcome> shards;  ///< slot.skipped marks exclusions
+  FleetDegradationReport degradation;
+};
+
+/// Runs a Monte Carlo campaign over `fleet`'s health state: a preflight
+/// scrub quarantines every shard reporting uncorrectable blocks
+/// (CrossbarFleet::quarantine_uncorrectable); quarantined shards with a
+/// spare are remapped, reloaded, and run their trials normally, shards
+/// without one are excluded with exact bookkeeping.  Substreams are
+/// logical-shard-indexed (shard s trial t on 1 + s*T + t, identical to
+/// run_fleet_montecarlo), so a fully respared campaign is BIT-IDENTICAL to
+/// a healthy one, and an excluded campaign's totals equal the healthy
+/// run's minus exactly the excluded shards' slots.  Requires
+/// fleet.shard_count() == config.shards and matching (n, m); draws exactly
+/// one value from `rng`.
+[[nodiscard]] FleetCampaignResult run_fleet_campaign(
+    const FleetMonteCarloConfig& config, arch::CrossbarFleet& fleet,
+    util::Rng& rng);
 
 /// One cell of the fleet MTTF grid.
 struct FleetMttfPoint {

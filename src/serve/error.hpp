@@ -1,0 +1,60 @@
+// pimecc -- serve/error.hpp
+//
+// Structured error taxonomy for the serving front end.  Every failed
+// request carries an ErrorCode alongside its message, so clients (and the
+// daemon's stdout transcript) can distinguish "your request is malformed"
+// from "the server is overloaded" from "a deadline expired" without
+// string-matching e.what().  The codes are deliberately few: they are the
+// retry-policy axis, not a diagnostic dump -- the message keeps the detail.
+//
+// Mapping discipline (serve/server.cpp):
+//   - ServeError                      -> its own code, verbatim
+//   - std::invalid_argument /
+//     std::out_of_range               -> kInvalidArgument (the deep layers'
+//                                        validate() / registry throws)
+//   - any other std::exception        -> kInternal
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pimecc::serve {
+
+enum class ErrorCode : unsigned char {
+  kNone = 0,          ///< success (Response.ok == true)
+  kInvalidArgument,   ///< malformed or out-of-range request; do not retry
+  kRejected,          ///< admission refused (queue full / closed); backpressure
+  kDeadlineExceeded,  ///< request expired before execution reached it
+  kCancelled,         ///< abandoned by shutdown before execution
+  kInternal,          ///< unexpected handler failure; inspect the message
+};
+
+[[nodiscard]] constexpr std::string_view error_code_name(
+    ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kNone: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// A typed serving failure.  Derives from std::runtime_error so existing
+/// callers catching the old flat exceptions keep working; new callers
+/// switch on code() instead of parsing what().
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace pimecc::serve

@@ -141,6 +141,9 @@ bool parse_request(std::string_view line, Request& out, std::string& error) {
       if (!size_field(request.trials)) return false;
     } else if (key == "horizon") {
       if (!double_field(request.horizon_hours)) return false;
+    } else if (key == "deadline_ms") {
+      if (!double_field(request.deadline_ms)) return false;
+      if (request.deadline_ms < 0.0) return bad_value();
     } else {
       error = "unknown key '" + std::string(key) + "'";
       return false;
@@ -153,7 +156,8 @@ bool parse_request(std::string_view line, Request& out, std::string& error) {
 std::string format_response(const Response& response) {
   std::ostringstream os;
   if (!response.ok) {
-    os << "error kind=" << kind_name(response.kind) << " message=\""
+    os << "error kind=" << kind_name(response.kind)
+       << " code=" << error_code_name(response.code) << " message=\""
        << response.error << '"';
     return os.str();
   }

@@ -21,6 +21,7 @@
 #include <string>
 #include <string_view>
 
+#include "serve/error.hpp"
 #include "simpler/ecc_schedule.hpp"
 
 namespace pimecc::serve {
@@ -62,6 +63,11 @@ struct Request {
   std::string policy = "periodic"; ///< rel::scrub_policy_preset_names()
   std::size_t trials = 64;
   double horizon_hours = 240.0;
+
+  // All kinds: per-request deadline, milliseconds from submission.  0 means
+  // no deadline.  Checked at admission into a batch lane (cooperative --
+  // an already-executing request runs to completion).
+  double deadline_ms = 0.0;
 };
 
 /// Parses one trace line.  Returns false and sets `error` on an unknown
@@ -74,7 +80,8 @@ bool parse_request(std::string_view line, Request& out, std::string& error);
 struct Response {
   bool ok = false;
   RequestKind kind = RequestKind::kMap;
-  std::string error;  ///< set when !ok
+  ErrorCode code = ErrorCode::kNone;  ///< typed failure class when !ok
+  std::string error;                  ///< set when !ok
 
   // kMap
   std::uint64_t baseline_cycles = 0;

@@ -1,7 +1,6 @@
 #include "serve/server.hpp"
 
 #include <cmath>
-#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -26,6 +25,16 @@ std::uint64_t gib_to_bits(double gib) {
     throw std::invalid_argument("memory size (GiB) out of range (0, 1024]");
   }
   return static_cast<std::uint64_t>(std::llround(gib * 8589934592.0));  // 2^33
+}
+
+Response failure_response(RequestKind kind, ErrorCode code,
+                          std::string message) {
+  Response response;
+  response.kind = kind;
+  response.ok = false;
+  response.code = code;
+  response.error = std::move(message);
+  return response;
 }
 
 }  // namespace
@@ -148,14 +157,21 @@ Response Server::handle(const Request& request) {
 }
 
 Response Server::execute(const Request& request) {
+  // The taxonomy mapping: typed serving failures keep their code, the deep
+  // layers' validation throws (ArchParams::validate, registry lookups,
+  // gib_to_bits) are the client's fault, everything else is ours.
   try {
     return handle(request);
+  } catch (const ServeError& e) {
+    return failure_response(request.kind, e.code(), e.what());
+  } catch (const std::invalid_argument& e) {
+    return failure_response(request.kind, ErrorCode::kInvalidArgument,
+                            e.what());
+  } catch (const std::out_of_range& e) {
+    return failure_response(request.kind, ErrorCode::kInvalidArgument,
+                            e.what());
   } catch (const std::exception& e) {
-    Response response;
-    response.kind = request.kind;
-    response.ok = false;
-    response.error = e.what();
-    return response;
+    return failure_response(request.kind, ErrorCode::kInternal, e.what());
   }
 }
 
@@ -166,31 +182,79 @@ std::vector<Response> Server::execute_batch(std::span<const Request> requests) {
   return responses;
 }
 
-std::uint64_t Server::submit(Request request) {
+Admission Server::try_submit(Request request) {
+  const Clock::time_point now = Clock::now();
   std::unique_lock lock(mutex_);
-  if (closed_) throw std::runtime_error("Server::submit: server is closed");
-  const std::uint64_t ticket = next_ticket_++;
-  queue_.emplace_back(ticket, std::move(request));
-  return ticket;
+  Admission admission;
+  if (closed_) {
+    admission.code = ErrorCode::kRejected;
+    admission.message = "server is closed";
+    return admission;
+  }
+  if (config_.max_pending != 0 && queue_.size() >= config_.max_pending) {
+    admission.code = ErrorCode::kRejected;
+    admission.message = "admission queue full (max_pending=" +
+                        std::to_string(config_.max_pending) + ")";
+    return admission;
+  }
+  admission.admitted = true;
+  admission.code = ErrorCode::kNone;
+  admission.ticket = next_ticket_++;
+  Pending pending;
+  pending.ticket = admission.ticket;
+  if (request.deadline_ms > 0.0) {
+    pending.deadline =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(request.deadline_ms));
+  }
+  pending.request = std::move(request);
+  queue_.push_back(std::move(pending));
+  return admission;
+}
+
+std::uint64_t Server::submit(Request request) {
+  Admission admission = try_submit(std::move(request));
+  if (!admission.admitted) {
+    throw ServeError(admission.code, "Server::submit: " + admission.message);
+  }
+  return admission.ticket;
 }
 
 std::size_t Server::drain_once() {
-  std::vector<std::uint64_t> tickets;
-  std::vector<Request> batch;
+  std::vector<Pending> batch;
   {
     std::unique_lock lock(mutex_);
     while (!queue_.empty() && batch.size() < config_.max_batch) {
-      tickets.push_back(queue_.front().first);
-      batch.push_back(std::move(queue_.front().second));
+      batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
   }
   if (batch.empty()) return 0;
-  std::vector<Response> responses = execute_batch(batch);
+  std::vector<Response> responses(batch.size());
+  util::parallel_for(
+      util::Executor::shared(), batch.size(), config_.lanes,
+      [&](std::size_t i) {
+        const Pending& item = batch[i];
+        // Cooperative checks at lane admission: work not yet started is
+        // cancellable/expirable; work already executing finishes.
+        if (cancel_.load(std::memory_order_acquire)) {
+          responses[i] = failure_response(item.request.kind,
+                                          ErrorCode::kCancelled,
+                                          "cancelled by server shutdown");
+          return;
+        }
+        if (item.deadline.has_value() && Clock::now() > *item.deadline) {
+          responses[i] = failure_response(
+              item.request.kind, ErrorCode::kDeadlineExceeded,
+              "deadline expired before execution");
+          return;
+        }
+        responses[i] = execute(item.request);
+      });
   {
     std::unique_lock lock(mutex_);
-    for (std::size_t i = 0; i < tickets.size(); ++i) {
-      responses_.emplace(tickets[i], std::move(responses[i]));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      responses_.emplace(batch[i].ticket, std::move(responses[i]));
     }
   }
   published_cv_.notify_all();
@@ -205,10 +269,33 @@ std::size_t Server::drain() {
   return served;
 }
 
+void Server::mark_taken(std::uint64_t ticket) {
+  if (ticket == taken_floor_) {
+    ++taken_floor_;
+    while (!taken_.empty() && *taken_.begin() == taken_floor_) {
+      taken_.erase(taken_.begin());
+      ++taken_floor_;
+    }
+  } else {
+    taken_.insert(ticket);
+  }
+}
+
+bool Server::is_taken(std::uint64_t ticket) const {
+  return ticket < taken_floor_ || taken_.count(ticket) != 0;
+}
+
 Response Server::take(std::uint64_t ticket) {
   std::unique_lock lock(mutex_);
   if (ticket >= next_ticket_) {
-    throw std::runtime_error("Server::take: unknown ticket");
+    throw ServeError(ErrorCode::kInvalidArgument,
+                     "Server::take: unknown ticket");
+  }
+  if (is_taken(ticket)) {
+    // Regression guard: a consumed ticket used to re-enter the wait below
+    // and block forever (its response was already erased).
+    throw ServeError(ErrorCode::kInvalidArgument,
+                     "Server::take: ticket already taken");
   }
   published_cv_.wait(lock, [&] {
     return responses_.count(ticket) != 0 || closed_;
@@ -218,10 +305,12 @@ Response Server::take(std::uint64_t ticket) {
     // Closed with the ticket still queued or in flight -- if it is in
     // flight a drain may yet publish it, but the caller asked to shut
     // down; report the abandonment rather than block forever.
-    throw std::runtime_error("Server::take: server closed before response");
+    throw ServeError(ErrorCode::kCancelled,
+                     "Server::take: server closed before response");
   }
   Response response = std::move(it->second);
   responses_.erase(it);
+  mark_taken(ticket);
   return response;
 }
 
@@ -231,6 +320,25 @@ void Server::close() {
     closed_ = true;
   }
   published_cv_.notify_all();
+}
+
+std::size_t Server::shutdown() {
+  std::size_t cancelled = 0;
+  {
+    std::unique_lock lock(mutex_);
+    closed_ = true;
+    cancel_.store(true, std::memory_order_release);
+    for (Pending& pending : queue_) {
+      responses_.emplace(pending.ticket,
+                         failure_response(pending.request.kind,
+                                          ErrorCode::kCancelled,
+                                          "cancelled by server shutdown"));
+      ++cancelled;
+    }
+    queue_.clear();
+  }
+  published_cv_.notify_all();
+  return cancelled;
 }
 
 std::size_t Server::pending() const {

@@ -1,0 +1,194 @@
+#include "util/chaos.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace pimecc::util::chaos {
+
+std::vector<std::uint8_t> truncated(std::span<const std::uint8_t> bytes,
+                                    std::size_t size) {
+  const std::size_t keep = std::min(size, bytes.size());
+  return std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + keep);
+}
+
+std::vector<std::uint8_t> bit_flipped(std::span<const std::uint8_t> bytes,
+                                      std::uint64_t bit_index) {
+  if (bit_index >= static_cast<std::uint64_t>(bytes.size()) * 8) {
+    throw std::out_of_range("chaos::bit_flipped: bit index out of range");
+  }
+  std::vector<std::uint8_t> out(bytes.begin(), bytes.end());
+  out[static_cast<std::size_t>(bit_index / 8)] ^=
+      static_cast<std::uint8_t>(1u << (bit_index % 8));
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// fsync a directory so a rename within it is durable.  Best effort: some
+/// filesystems refuse O_RDONLY directory fsync; that's not a data-loss
+/// path (the rename itself already happened atomically).
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+}
+
+class RealFileBackend final : public FileBackend {};
+
+}  // namespace
+
+void FileBackend::write_file(const std::string& path,
+                             std::span<const std::uint8_t> bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("cannot create", path);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      (void)::close(fd);
+      errno = saved;
+      throw_errno("write failed for", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    (void)::close(fd);
+    errno = saved;
+    throw_errno("fsync failed for", path);
+  }
+  if (::close(fd) != 0) throw_errno("close failed for", path);
+}
+
+void FileBackend::rename_file(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    throw_errno("cannot rename '" + from + "' to", to);
+  }
+  sync_parent_dir(to);
+}
+
+void FileBackend::remove_file(const std::string& path) noexcept {
+  (void)::unlink(path.c_str());
+}
+
+bool FileBackend::read_file(const std::string& path,
+                            std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out.clear();
+  std::uint8_t buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      (void)::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buffer, buffer + n);
+  }
+  (void)::close(fd);
+  return true;
+}
+
+bool FileBackend::exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void FileBackend::backoff(std::size_t attempt) {
+  // Bounded exponential: 1ms, 2ms, 4ms, ... capped at 64ms.  A transient
+  // open failure (fd pressure, NFS hiccup) gets breathing room; a
+  // persistent one still fails the save within the retry budget fast.
+  const std::uint64_t ms = std::min<std::uint64_t>(64, 1ull << std::min<std::size_t>(attempt, 6));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+FileBackend& real_file_backend() {
+  static RealFileBackend backend;
+  return backend;
+}
+
+// ------------------------------------------------------------ ChaosBackend
+
+void ChaosBackend::write_file(const std::string& path,
+                              std::span<const std::uint8_t> bytes) {
+  ++log_.writes;
+  if (plan_.fail_opens > 0) {
+    --plan_.fail_opens;
+    ++log_.opens_failed;
+    throw IoError("chaos: injected transient open failure for '" + path + "'");
+  }
+  if (plan_.tear_after.has_value()) {
+    const std::uint64_t keep = *plan_.tear_after;
+    plan_.tear_after.reset();
+    ++log_.writes_torn;
+    delegate_->write_file(path,
+                          bytes.subspan(0, std::min<std::size_t>(
+                                               bytes.size(),
+                                               static_cast<std::size_t>(keep))));
+    throw IoError("chaos: injected torn write for '" + path + "'");
+  }
+  if (plan_.corrupt_bit.has_value()) {
+    const std::uint64_t bit = *plan_.corrupt_bit;
+    plan_.corrupt_bit.reset();
+    ++log_.bits_corrupted;
+    delegate_->write_file(path, bit_flipped(bytes, bit));
+    return;  // "succeeds": silent corruption, only the CRC can catch it
+  }
+  delegate_->write_file(path, bytes);
+}
+
+void ChaosBackend::rename_file(const std::string& from, const std::string& to) {
+  ++log_.renames;
+  if (plan_.fail_rename) {
+    plan_.fail_rename = false;
+    ++log_.renames_failed;
+    throw IoError("chaos: injected rename failure '" + from + "' -> '" + to +
+                  "'");
+  }
+  delegate_->rename_file(from, to);
+}
+
+void ChaosBackend::remove_file(const std::string& path) noexcept {
+  ++log_.removes;
+  delegate_->remove_file(path);
+}
+
+bool ChaosBackend::read_file(const std::string& path,
+                             std::vector<std::uint8_t>& out) {
+  ++log_.reads;
+  if (!delegate_->read_file(path, out)) return false;
+  if (plan_.short_read.has_value()) {
+    const std::uint64_t keep = *plan_.short_read;
+    plan_.short_read.reset();
+    ++log_.reads_shortened;
+    if (keep < out.size()) out.resize(static_cast<std::size_t>(keep));
+  }
+  return true;
+}
+
+bool ChaosBackend::exists(const std::string& path) {
+  return delegate_->exists(path);
+}
+
+void ChaosBackend::backoff(std::size_t) { ++log_.backoffs; }
+
+}  // namespace pimecc::util::chaos

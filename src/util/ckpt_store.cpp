@@ -1,0 +1,95 @@
+#include "util/ckpt_store.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pimecc::util {
+
+CheckpointStore::CheckpointStore(std::string base_path)
+    : CheckpointStore(std::move(base_path), Options()) {}
+
+CheckpointStore::CheckpointStore(std::string base_path, Options options,
+                                 chaos::FileBackend* backend)
+    : base_(std::move(base_path)),
+      options_(options),
+      backend_(backend != nullptr ? backend : &chaos::real_file_backend()) {
+  if (base_.empty()) {
+    throw std::invalid_argument("CheckpointStore: base path must be non-empty");
+  }
+  if (options_.generations == 0) {
+    throw std::invalid_argument("CheckpointStore: need >= 1 generation");
+  }
+}
+
+std::string CheckpointStore::generation_path(std::size_t generation) const {
+  if (generation == 0) return base_;
+  return base_ + "." + std::to_string(generation);
+}
+
+void CheckpointStore::save(std::span<const std::uint8_t> bytes) {
+  const std::string temp = temp_path();
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      // 1. Durable temp image.  Fails (torn or not at all) without having
+      //    touched any generation.
+      backend_->write_file(temp, bytes);
+      // 2. Shift generations oldest-first: G-1 -> G, ..., 1 -> 2.  Each
+      //    rename is atomic; a crash between them leaves every completed
+      //    snapshot intact under some name the recovery scan covers.
+      for (std::size_t g = options_.generations - 1; g >= 1; --g) {
+        const std::string from = generation_path(g);
+        if (backend_->exists(from)) {
+          backend_->rename_file(from, generation_path(g + 1));
+        }
+      }
+      // 3. Publish: the new image becomes generation 1 atomically.
+      backend_->rename_file(temp, generation_path(1));
+      return;
+    } catch (const chaos::IoError&) {
+      if (attempt >= options_.retries) {
+        backend_->remove_file(temp);
+        throw;
+      }
+      backend_->backoff(attempt);
+    }
+  }
+}
+
+std::optional<CheckpointStore::Recovered> CheckpointStore::recover(
+    const Validator& validate) const {
+  std::size_t rejected = 0;
+  auto consider = [&](std::size_t generation) -> std::optional<Recovered> {
+    std::vector<std::uint8_t> bytes;
+    if (!backend_->read_file(generation_path(generation), bytes)) {
+      return std::nullopt;
+    }
+    bool ok = false;
+    try {
+      ok = validate(bytes);
+    } catch (...) {
+      ok = false;  // a throwing decoder is a rejection, not a crash
+    }
+    if (!ok) {
+      ++rejected;
+      return std::nullopt;
+    }
+    Recovered recovered;
+    recovered.bytes = std::move(bytes);
+    recovered.path = generation_path(generation);
+    recovered.generation = generation;
+    recovered.rejected = rejected;
+    return recovered;
+  };
+  // Newest first; a crash mid-shift can leave the newest good snapshot at
+  // any index, and the scan order guarantees we resume from the latest one
+  // that validates.
+  for (std::size_t g = 1; g <= options_.generations; ++g) {
+    if (auto recovered = consider(g)) return recovered;
+  }
+  // Legacy layout: a single checkpoint at the bare base path (what the
+  // pre-rotation tools wrote).  Oldest priority by construction.
+  if (auto recovered = consider(0)) return recovered;
+  return std::nullopt;
+}
+
+}  // namespace pimecc::util

@@ -1,0 +1,88 @@
+// pimecc -- util/ckpt_store.hpp
+//
+// Crash-safe rotated checkpoint store: the persistence discipline under
+// `pimecc mttf --checkpoint` (and any other resumable campaign).  A store
+// owns a base path and keeps up to `generations` complete snapshots as
+// `<base>.1` (newest) through `<base>.G` (oldest), logrotate-style.
+//
+// Save is atomic per generation: the full image is written to `<base>.tmp`
+// (every byte written + fsynced, or the save fails -- chaos::FileBackend's
+// contract), the existing generations are shifted by rename, and the temp
+// file is renamed into `<base>.1`.  A crash at ANY point -- mid-temp-write,
+// between shifts, before the final rename -- leaves every previously
+// completed generation intact under some name in [1, G]: the previous
+// newest snapshot is never unlinked or overwritten until the new one is
+// durable.  Transient failures (injected or real: fd pressure, disk-full
+// at create) are retried with bounded backoff; a persistent failure throws
+// chaos::IoError with the temp file removed and all generations untouched.
+//
+// Recovery scans newest-first: generation 1, 2, ..., G, then the bare
+// `<base>` path (the legacy single-file layout older tools wrote), and
+// returns the first candidate the caller's validator accepts -- a torn,
+// bit-flipped, or version-skewed generation is counted as rejected and the
+// scan continues, so one bad write can never take down a campaign that has
+// any older good snapshot.  tests/test_chaos.cpp drives every one of these
+// failure modes through a deterministic fault injector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/chaos.hpp"
+
+namespace pimecc::util {
+
+class CheckpointStore {
+ public:
+  struct Options {
+    std::size_t generations = 3;  ///< rotated snapshots to keep (>= 1)
+    std::size_t retries = 3;      ///< extra attempts after a transient failure
+  };
+
+  /// One recovered snapshot: the validated bytes plus provenance.
+  struct Recovered {
+    std::vector<std::uint8_t> bytes;
+    std::string path;
+    std::size_t generation = 0;  ///< 1 = newest; 0 = legacy bare base path
+    std::size_t rejected = 0;    ///< candidates present but failed validation
+  };
+
+  /// Accepts or rejects one candidate snapshot's bytes.  A validator that
+  /// throws is treated as rejecting (decoders naturally throw
+  /// SerializeError on defects).
+  using Validator = std::function<bool(std::span<const std::uint8_t>)>;
+
+  /// `backend` defaults to the real filesystem; tests pass a ChaosBackend.
+  /// Throws std::invalid_argument on an empty path or zero generations.
+  explicit CheckpointStore(std::string base_path);
+  CheckpointStore(std::string base_path, Options options,
+                  chaos::FileBackend* backend = nullptr);
+
+  /// Persists `bytes` as the new newest generation (see the file comment
+  /// for the crash-safety argument).  Throws chaos::IoError after the
+  /// retry budget is exhausted.
+  void save(std::span<const std::uint8_t> bytes);
+
+  /// Scans generations newest-first (then the legacy bare path) and
+  /// returns the first whose bytes `validate` accepts; nullopt when no
+  /// candidate survives.
+  [[nodiscard]] std::optional<Recovered> recover(
+      const Validator& validate) const;
+
+  /// `<base>.<generation>`; generation 0 is the bare base path.
+  [[nodiscard]] std::string generation_path(std::size_t generation) const;
+  [[nodiscard]] std::string temp_path() const { return base_ + ".tmp"; }
+  [[nodiscard]] const std::string& base_path() const noexcept { return base_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  std::string base_;
+  Options options_;
+  chaos::FileBackend* backend_;
+};
+
+}  // namespace pimecc::util

@@ -8,6 +8,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <set>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "arch/checkpoint.hpp"
 #include "arch/pim_machine.hpp"
 #include "reliability/lifetime.hpp"
+#include "util/chaos.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 
@@ -263,6 +266,83 @@ TEST_F(MachineCheckpointDefects, GeometryMismatchRejected) {
   std::stringstream stream2;
   arch::save_machine_checkpoint(stream2, pcs_machine);
   expect_rejected(stream2.str());
+}
+
+// The chunk frame is |magic u64|version u32|payload_size u64|payload|crc64|
+// (util/serialize.hpp), all little-endian: header is 20 bytes, the machine
+// chunk ends at 20 + payload_size + 8.  The fixture's file carries an RNG
+// chunk after the machine chunk, and a no-rng load ignores trailing bytes,
+// so defect sweeps stay strictly inside [0, machine chunk end).
+
+std::uint64_t le_u64_at(const std::string& bytes, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(bytes[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::span<const std::uint8_t> byte_span(const std::string& bytes) {
+  return {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()};
+}
+
+std::string to_string(const std::vector<std::uint8_t>& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+TEST_F(MachineCheckpointDefects, TruncationAtEveryChunkBoundaryRejected) {
+  ASSERT_GE(encoded_.size(), 20u);
+  const std::uint64_t payload = le_u64_at(encoded_, 12);
+  const std::size_t chunk_end = 20 + payload + 8;
+  ASSERT_LE(chunk_end, encoded_.size());
+
+  // Every structural boundary of the frame, each probed exactly, one byte
+  // short, and one byte long: end of magic (8), of version (12), of the
+  // size field / start of payload (20), end of payload (20 + payload), and
+  // every prefix of the trailing CRC.  A cut ANYWHERE inside the machine
+  // chunk must reject without mutating the target.
+  std::set<std::size_t> cuts;
+  for (const std::size_t base : {std::size_t{0}, std::size_t{8},
+                                 std::size_t{12}, std::size_t{20},
+                                 static_cast<std::size_t>(20 + payload),
+                                 chunk_end}) {
+    for (const int delta : {-1, 0, 1}) {
+      if (delta < 0 && base == 0) continue;
+      const std::size_t cut = base + static_cast<std::size_t>(delta);
+      if (cut < chunk_end) cuts.insert(cut);  // == chunk_end is a VALID file
+    }
+  }
+  cuts.insert(20 + payload + 3);  // a cut mid-CRC
+  for (const std::size_t cut : cuts) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    expect_rejected(
+        to_string(util::chaos::truncated(byte_span(encoded_), cut)));
+  }
+}
+
+TEST_F(MachineCheckpointDefects, SingleBitFlipAnywhereInChunkRejected) {
+  // Bit-flip fuzz over the whole machine chunk -- magic, version, size
+  // field, payload, CRC -- via the chaos corruption helper.  Offsets come
+  // from a dedicated substream plus the structural corners, so the sweep
+  // is reproducible and covers every frame region.
+  const std::uint64_t payload = le_u64_at(encoded_, 12);
+  const std::uint64_t chunk_bits = (20 + payload + 8) * 8;
+
+  std::set<std::uint64_t> bits = {0,           63,                // magic
+                                  8 * 8,       12 * 8 - 1,        // version
+                                  12 * 8,      20 * 8 - 1,        // size
+                                  20 * 8,      (20 + payload) * 8 - 1,
+                                  (20 + payload) * 8, chunk_bits - 1};  // crc
+  util::Rng fuzz = util::Rng::for_stream(0xF1195u, 3);
+  while (bits.size() < 48) bits.insert(fuzz.next() % chunk_bits);
+
+  for (const std::uint64_t bit : bits) {
+    SCOPED_TRACE("bit=" + std::to_string(bit));
+    expect_rejected(
+        to_string(util::chaos::bit_flipped(byte_span(encoded_), bit)));
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -249,6 +249,209 @@ TEST(FleetMonteCarlo, ShardSlotsSumToTotals) {
   EXPECT_GT(result.total.trials_with_errors, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Degraded mode: quarantine, spares, and exact campaign accounting
+
+TEST(FleetDegraded, QuarantineWithoutSpareExcludesShardEverywhere) {
+  arch::CrossbarFleet fleet(tiny_fleet(4));
+  util::Rng rng(17);
+  fleet.load_random(rng);
+
+  EXPECT_FALSE(fleet.quarantine_shard(2));  // no spare: shard goes dead
+  EXPECT_FALSE(fleet.shard_active(2));
+  EXPECT_FALSE(fleet.quarantine_shard(2));  // already dead: no double count
+  const arch::FleetHealth health = fleet.health();
+  EXPECT_EQ(health.active, 3u);
+  EXPECT_EQ(health.dead, 1u);
+  EXPECT_EQ(health.quarantined, 1u);
+  EXPECT_EQ(health.spares_available, 0u);
+  EXPECT_EQ(health.spares_activated, 0u);
+
+  // Dead shards have no backing: direct access throws, bulk ops skip.
+  EXPECT_THROW((void)fleet.data(2), std::runtime_error);
+  EXPECT_THROW((void)fleet.physical_shard(2), std::runtime_error);
+  EXPECT_THROW(fleet.inject_data_error(2, 0, 0), std::runtime_error);
+  EXPECT_EQ(fleet.scrub_all().shards_checked, 3u);
+  EXPECT_TRUE(fleet.all_consistent());  // dead shards vacuously consistent
+
+  // Random injection drops addresses landing on the dead shard but leaves
+  // the draw order -- hence every survivor's flips -- unchanged.
+  arch::CrossbarFleet mirror(tiny_fleet(4));
+  util::Rng rng_a(29);
+  util::Rng rng_b(29);
+  fleet.load_random(rng_a);
+  mirror.load_random(rng_b);
+  const auto flips = fleet.inject_random_errors(rng_a, 60);
+  const auto mirror_flips = mirror.inject_random_errors(rng_b, 60);
+  EXPECT_LT(flips.size(), mirror_flips.size());  // shard 2's share dropped
+  for (const arch::FleetAddress& addr : flips) {
+    EXPECT_NE(addr.shard, 2u);
+  }
+  for (const std::size_t s : {0u, 1u, 3u}) {
+    EXPECT_EQ(fleet.data(s), mirror.data(s)) << "shard " << s;
+  }
+}
+
+TEST(FleetDegraded, SpareRemapReplaysTheLogicalShardsImage) {
+  arch::FleetParams params = tiny_fleet(4);
+  params.spares = 2;
+  arch::CrossbarFleet fleet(params);
+
+  EXPECT_TRUE(fleet.quarantine_shard(1));  // respared, still active
+  EXPECT_TRUE(fleet.shard_active(1));
+  EXPECT_EQ(fleet.physical_shard(1), 4u);  // first spare slot activates first
+  const arch::FleetHealth health = fleet.health();
+  EXPECT_EQ(health.active, 4u);
+  EXPECT_EQ(health.dead, 0u);
+  EXPECT_EQ(health.quarantined, 1u);
+  EXPECT_EQ(health.spares_available, 1u);
+  EXPECT_EQ(health.spares_activated, 1u);
+
+  // Substreams are logical-shard-indexed: after a reload the respared
+  // shard carries the exact image its retired predecessor would have.
+  arch::CrossbarFleet pristine(tiny_fleet(4));
+  util::Rng rng_a(71);
+  util::Rng rng_b(71);
+  fleet.load_random(rng_a);
+  pristine.load_random(rng_b);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(fleet.data(s), pristine.data(s)) << "shard " << s;
+  }
+
+  // Exhaust the pool: second quarantine respares, third goes dead.
+  EXPECT_TRUE(fleet.quarantine_shard(3));
+  EXPECT_EQ(fleet.physical_shard(3), 5u);
+  EXPECT_FALSE(fleet.quarantine_shard(0));
+  EXPECT_FALSE(fleet.shard_active(0));
+  EXPECT_EQ(fleet.health().spares_available, 0u);
+}
+
+TEST(FleetDegraded, QuarantineUncorrectableTakesOnlyBrokenShards) {
+  arch::CrossbarFleet fleet(tiny_fleet(4));
+  util::Rng rng(43);
+  fleet.load_random(rng);
+  // Shard 0: one correctable flip.  Shard 2: a two-bit block (m=5 corrects
+  // at most one data error per block -- uncorrectable).
+  fleet.inject_data_error(0, 3, 3);
+  fleet.inject_data_error(2, 0, 0);
+  fleet.inject_data_error(2, 0, 1);
+
+  const std::vector<std::size_t> quarantined = fleet.quarantine_uncorrectable();
+  EXPECT_EQ(quarantined, (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(fleet.shard_active(0));  // corrected in the preflight scrub
+  EXPECT_FALSE(fleet.shard_active(2));
+  EXPECT_TRUE(fleet.all_consistent());
+  // Nothing broken, nothing quarantined on a second pass.
+  EXPECT_TRUE(fleet.quarantine_uncorrectable().empty());
+}
+
+arch::FleetParams campaign_fleet(std::size_t shards, std::size_t spares = 0) {
+  arch::FleetParams params;
+  params.n = 20;
+  params.m = 5;
+  params.shards = shards;
+  params.spares = spares;
+  return params;
+}
+
+TEST(FleetCampaign, HealthyFleetIsBitIdenticalToTheFlatEngine) {
+  const rel::FleetMonteCarloConfig config = fleet_mc(6, 4, 0);
+  arch::CrossbarFleet fleet(campaign_fleet(6));
+  util::Rng campaign_rng(91);
+  const rel::FleetCampaignResult campaign =
+      rel::run_fleet_campaign(config, fleet, campaign_rng);
+  EXPECT_FALSE(campaign.degradation.degraded());
+
+  util::Rng flat_rng(91);
+  const rel::FleetMonteCarloResult flat =
+      rel::run_fleet_montecarlo(config, flat_rng);
+  EXPECT_EQ(campaign.total, flat.total);
+  EXPECT_EQ(campaign.shards, flat.shards);
+  EXPECT_EQ(campaign_rng.next(), flat_rng.next());
+}
+
+TEST(FleetCampaign, ResparedShardRunsBitIdenticalToHealthy) {
+  const rel::FleetMonteCarloConfig config = fleet_mc(6, 4, 0);
+  arch::CrossbarFleet fleet(campaign_fleet(6, /*spares=*/1));
+  // An uncorrectable two-bit block in shard 3 before the campaign: the
+  // preflight scrub must quarantine it onto the spare.
+  fleet.inject_data_error(3, 0, 0);
+  fleet.inject_data_error(3, 0, 1);
+
+  util::Rng campaign_rng(91);
+  const rel::FleetCampaignResult campaign =
+      rel::run_fleet_campaign(config, fleet, campaign_rng);
+  EXPECT_EQ(campaign.degradation.quarantined,
+            (std::vector<std::size_t>{3}));
+  EXPECT_EQ(campaign.degradation.spares_activated, 1u);
+  EXPECT_EQ(campaign.degradation.shards_excluded, 0u);
+  EXPECT_EQ(campaign.degradation.trials_skipped, 0u);
+  EXPECT_FALSE(campaign.shards[3].skipped);
+
+  // Logical-shard substreams make the respared campaign BIT-IDENTICAL to a
+  // healthy one: the spare replays shard 3's exact trial sequence.
+  util::Rng flat_rng(91);
+  const rel::FleetMonteCarloResult healthy =
+      rel::run_fleet_montecarlo(config, flat_rng);
+  EXPECT_EQ(campaign.total, healthy.total);
+  EXPECT_EQ(campaign.shards, healthy.shards);
+}
+
+TEST(FleetCampaign, ExcludedShardIsAnExactSubtraction) {
+  const rel::FleetMonteCarloConfig config = fleet_mc(6, 4, 0);
+  arch::CrossbarFleet fleet(campaign_fleet(6));  // no spares
+  fleet.inject_data_error(3, 0, 0);
+  fleet.inject_data_error(3, 0, 1);
+
+  util::Rng campaign_rng(91);
+  const rel::FleetCampaignResult campaign =
+      rel::run_fleet_campaign(config, fleet, campaign_rng);
+  EXPECT_EQ(campaign.degradation.quarantined,
+            (std::vector<std::size_t>{3}));
+  EXPECT_EQ(campaign.degradation.spares_activated, 0u);
+  EXPECT_EQ(campaign.degradation.shards_excluded, 1u);
+  EXPECT_EQ(campaign.degradation.trials_skipped, config.trials_per_shard);
+  EXPECT_TRUE(campaign.shards[3].skipped);
+  EXPECT_EQ(campaign.shards[3].stats, rel::MonteCarloResult{});
+
+  // The degraded totals equal the healthy run's minus EXACTLY the excluded
+  // shard's slot -- every counter, no slack.
+  util::Rng flat_rng(91);
+  const rel::FleetMonteCarloResult healthy =
+      rel::run_fleet_montecarlo(config, flat_rng);
+  rel::MonteCarloResult expected = healthy.total;
+  const rel::MonteCarloResult& gone = healthy.shards[3].stats;
+  expected.trials -= gone.trials;
+  expected.trials_with_errors -= gone.trials_with_errors;
+  expected.trials_failed -= gone.trials_failed;
+  expected.blocks_total -= gone.blocks_total;
+  expected.flips_injected -= gone.flips_injected;
+  expected.blocks_failed -= gone.blocks_failed;
+  expected.blocks_with_errors -= gone.blocks_with_errors;
+  expected.corrected_data -= gone.corrected_data;
+  expected.corrected_check -= gone.corrected_check;
+  expected.detected_uncorrectable -= gone.detected_uncorrectable;
+  expected.miscorrected -= gone.miscorrected;
+  EXPECT_EQ(campaign.total, expected);
+  // Surviving shards match the healthy run slot for slot.
+  for (std::size_t s = 0; s < 6; ++s) {
+    if (s == 3) continue;
+    EXPECT_EQ(campaign.shards[s], healthy.shards[s]) << "shard " << s;
+  }
+}
+
+TEST(FleetCampaign, ShapeMismatchRejected) {
+  arch::CrossbarFleet fleet(campaign_fleet(4));
+  util::Rng rng(1);
+  rel::FleetMonteCarloConfig config = fleet_mc(6, 4, 0);  // 6 != 4 shards
+  EXPECT_THROW((void)rel::run_fleet_campaign(config, fleet, rng),
+               std::invalid_argument);
+  config = fleet_mc(4, 4, 0);
+  config.n = 15;  // fleet is n=20
+  EXPECT_THROW((void)rel::run_fleet_campaign(config, fleet, rng),
+               std::invalid_argument);
+}
+
 TEST(FleetMttfGrid, EvaluatesEveryCellReproducibly) {
   rel::FleetMttfGridConfig config;
   config.n = 15;

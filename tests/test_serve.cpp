@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "reliability/analytic.hpp"
+#include "serve/error.hpp"
 #include "serve/registry.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
@@ -281,6 +283,204 @@ TEST(ServeQueue, CloseRejectsSubmitAndWakesTake) {
   EXPECT_THROW((void)server.submit(parse_ok("mttf fit=1e-3")),
                std::runtime_error);
   EXPECT_THROW((void)server.take(9999), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: typed errors, admission control, deadlines, shutdown
+
+using serve::ErrorCode;
+using serve::ServeError;
+
+TEST(ServeRobustness, TakeSameTicketTwiceThrowsImmediately) {
+  // Regression: a consumed ticket used to re-wait on the response condition
+  // forever (the response was already erased, so nothing could ever wake
+  // it).  A double take must throw immediately instead of hanging.
+  Server server;
+  const std::uint64_t ticket = server.submit(parse_ok("mttf fit=1e-3"));
+  EXPECT_EQ(server.drain(), 1u);
+  EXPECT_TRUE(server.take(ticket).ok);
+  try {
+    (void)server.take(ticket);
+    FAIL() << "second take of the same ticket must throw";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+  // Unknown (never-issued) tickets are typed the same way.
+  try {
+    (void)server.take(ticket + 1000);
+    FAIL() << "unknown ticket must throw";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(ServeRobustness, DoubleTakeDetectionSurvivesManyTickets) {
+  // taken-ticket tracking is floor + sparse set; consume out of order to
+  // exercise both representations.
+  Server server;
+  std::vector<std::uint64_t> tickets;
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(server.submit(parse_ok("mttf fit=1e-3")));
+  }
+  EXPECT_EQ(server.drain(), tickets.size());
+  const std::size_t order[] = {7, 0, 3, 1, 2, 6, 4, 5};
+  for (const std::size_t i : order) {
+    EXPECT_TRUE(server.take(tickets[i]).ok);
+    EXPECT_THROW((void)server.take(tickets[i]), ServeError);
+  }
+  for (const std::uint64_t t : tickets) {
+    EXPECT_THROW((void)server.take(t), ServeError);
+  }
+}
+
+TEST(ServeRobustness, BoundedQueueRejectsWithTypedError) {
+  ServerConfig config;
+  config.max_pending = 2;
+  Server server(config);
+  const Request request = parse_ok("mttf fit=1e-3");
+
+  const serve::Admission a1 = server.try_submit(request);
+  const serve::Admission a2 = server.try_submit(request);
+  ASSERT_TRUE(a1.admitted);
+  ASSERT_TRUE(a2.admitted);
+
+  // Queue full: try_submit reports, submit throws -- both kRejected.
+  const serve::Admission full = server.try_submit(request);
+  EXPECT_FALSE(full.admitted);
+  EXPECT_EQ(full.code, ErrorCode::kRejected);
+  EXPECT_NE(full.message.find("max_pending=2"), std::string::npos);
+  try {
+    (void)server.submit(request);
+    FAIL() << "submit over a full queue must throw";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kRejected);
+  }
+
+  // Draining frees capacity; admission resumes with fresh tickets.
+  EXPECT_EQ(server.drain(), 2u);
+  const serve::Admission again = server.try_submit(request);
+  EXPECT_TRUE(again.admitted);
+  EXPECT_GT(again.ticket, a2.ticket);
+  EXPECT_EQ(server.drain(), 1u);
+  EXPECT_TRUE(server.take(a1.ticket).ok);
+  EXPECT_TRUE(server.take(a2.ticket).ok);
+  EXPECT_TRUE(server.take(again.ticket).ok);
+}
+
+TEST(ServeRobustness, TrySubmitAfterCloseIsRejectedNotThrown) {
+  Server server;
+  server.close();
+  const serve::Admission refused = server.try_submit(parse_ok("mttf fit=1e-3"));
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.code, ErrorCode::kRejected);
+}
+
+TEST(ServeRobustness, ExecuteTagsFailuresWithErrorCodes) {
+  Server server;
+
+  Request bad_circuit = parse_ok("map circuit=ctrl");
+  bad_circuit.circuit = "no-such-circuit";
+  const Response r1 = server.execute(bad_circuit);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_EQ(r1.code, ErrorCode::kInvalidArgument);
+
+  const Response r2 = server.execute(parse_ok("run circuit=ctrl n=61 m=15"));
+  EXPECT_FALSE(r2.ok);
+  EXPECT_EQ(r2.code, ErrorCode::kInvalidArgument);
+
+  const Response ok = server.execute(parse_ok("mttf fit=1e-3"));
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.code, ErrorCode::kNone);
+
+  // The wire format carries the code so clients can dispatch without
+  // parsing prose.
+  EXPECT_NE(serve::format_response(r1).find("code=invalid_argument"),
+            std::string::npos);
+}
+
+TEST(ServeRobustness, DeadlineAlreadyExpiredProducesTypedResponse) {
+  Server server;
+  Request urgent = parse_ok("mttf fit=1e-3 deadline_ms=0.000001");
+  const std::uint64_t ticket = server.submit(urgent);
+  // The deadline (1ns past admission) has certainly expired by now; the
+  // drain lane must refuse to execute and publish kDeadlineExceeded.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(server.drain(), 1u);
+  const Response late = server.take(ticket);
+  EXPECT_FALSE(late.ok);
+  EXPECT_EQ(late.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(serve::format_response(late).find("code=deadline_exceeded"),
+            std::string::npos);
+
+  // A generous deadline is met normally.
+  const std::uint64_t relaxed =
+      server.submit(parse_ok("mttf fit=1e-3 deadline_ms=60000"));
+  EXPECT_EQ(server.drain(), 1u);
+  EXPECT_TRUE(server.take(relaxed).ok);
+}
+
+TEST(ParseRequest, DeadlineKeyParsesAndRejectsNegatives) {
+  const Request request = parse_ok("mttf fit=1e-3 deadline_ms=250.5");
+  EXPECT_EQ(request.deadline_ms, 250.5);
+  EXPECT_NE(parse_error("mttf fit=1e-3 deadline_ms=-1").find("bad value"),
+            std::string::npos);
+}
+
+TEST(ServeRobustness, ShutdownCancelsQueuedAndReportsCount) {
+  ServerConfig config;
+  config.max_batch = 1;
+  Server server(config);
+  std::vector<std::uint64_t> tickets;
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(server.submit(parse_ok("mttf fit=1e-3")));
+  }
+  EXPECT_EQ(server.drain_once(), 1u);  // one served before the stop arrives
+
+  EXPECT_EQ(server.shutdown(), 2u);  // the two still queued
+  EXPECT_EQ(server.pending(), 0u);
+  EXPECT_EQ(server.shutdown(), 0u);  // idempotent
+
+  const Response served = server.take(tickets[0]);
+  EXPECT_TRUE(served.ok);
+  for (std::size_t i = 1; i < tickets.size(); ++i) {
+    const Response cancelled = server.take(tickets[i]);
+    EXPECT_FALSE(cancelled.ok);
+    EXPECT_EQ(cancelled.code, ErrorCode::kCancelled);
+  }
+  // And the server is closed: no further admission.
+  EXPECT_FALSE(server.try_submit(parse_ok("mttf fit=1e-3")).admitted);
+}
+
+TEST(ServeRobustness, ShutdownWhileDrainingLosesNoTicket) {
+  // Raced against a live drainer (the tsan-audited path): every submitted
+  // ticket must resolve to exactly one response -- served or cancelled --
+  // and take() must never hang.
+  Server server;
+  constexpr std::size_t kRequests = 24;
+  std::vector<std::uint64_t> tickets;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    tickets.push_back(server.submit(parse_ok("mttf fit=1e-3")));
+  }
+
+  std::thread drainer([&] {
+    while (server.drain_once() != 0) {
+    }
+  });
+  (void)server.shutdown();  // races the drainer mid-queue
+  drainer.join();
+
+  std::size_t served = 0;
+  std::size_t cancelled = 0;
+  for (const std::uint64_t ticket : tickets) {
+    const Response response = server.take(ticket);
+    if (response.ok) {
+      ++served;
+    } else {
+      EXPECT_EQ(response.code, ErrorCode::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(served + cancelled, kRequests);
 }
 
 TEST(ServeRegistry, CachesCircuitsProgramsAndMachines) {

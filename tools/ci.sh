@@ -45,6 +45,10 @@ if echo 'int main(){}' | c++ -x c++ -fsanitize=thread -o /dev/null - 2>/dev/null
   cmake --build "$tsan_dir" -j "$jobs"
   echo "==== [TSan] test (concurrency label) ===="
   ctest --test-dir "$tsan_dir" -L concurrency --output-on-failure -j "$jobs"
+  # The serve deadline/cancel/shutdown paths and the fleet quarantine
+  # accounting race threads by design; run them under TSan explicitly.
+  echo "==== [TSan] test (robustness label) ===="
+  ctest --test-dir "$tsan_dir" -L robustness --output-on-failure -j "$jobs"
 else
   echo "==== toolchain lacks TSan runtime; skipping tsan stage ===="
 fi
@@ -60,6 +64,11 @@ for config in Debug Release; do
   cmake --build "$build_dir" -j "$jobs"
   echo "==== [$config] test ===="
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  # Fault-tolerance gate: the chaos-injection + crash-recovery suites
+  # (torn-write checkpoint resume, serve admission/deadline/shutdown,
+  # fleet quarantine accounting) must pass standalone in every config.
+  echo "==== [$config] test (robustness label) ===="
+  ctest --test-dir "$build_dir" -L robustness --output-on-failure -j "$jobs"
 done
 
 # Engine perf tracking: smoke-configuration run of the throughput harness,

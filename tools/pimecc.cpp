@@ -10,7 +10,8 @@
 //                [--n N] [--m M] [--gib G] [--batch B] [--lanes L]
 //   pimecc sweep --scenarios [--fit F] [--period H] [--n N] [--m M]
 //                [--trials T] [--horizon H] [--seed S] [--batch B] [--lanes L]
-//   pimecc serve --trace FILE|- [--batch B] [--lanes L] [--stats]
+//   pimecc serve --trace FILE|- [--batch B] [--lanes L] [--max-pending P]
+//                [--stats]
 //
 // `map` is exactly the pimecc_map tool (same implementation, same exit
 // codes).  `run` executes one benchmark end-to-end on the ECC-protected
@@ -29,9 +30,13 @@
 //
 // Exit status: 0 on success, 1 on bad usage or a failed run/mttf request
 // (map keeps its 0/1/2 contract).
+#include <csignal>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -40,12 +45,20 @@
 #include "reliability/lifetime.hpp"
 #include "reliability/scenario.hpp"
 #include "serve/server.hpp"
+#include "util/chaos.hpp"
+#include "util/ckpt_store.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 
 namespace {
 
 using namespace pimecc;
+
+// Graceful-shutdown latch for `pimecc serve`: SIGINT/SIGTERM request a
+// drain-and-exit instead of killing the process mid-batch.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
 
 void usage(std::ostream& os) {
   os << "usage: pimecc <map|run|mttf|sweep|serve> [options]\n"
@@ -58,7 +71,8 @@ void usage(std::ostream& os) {
         "         [--n N] [--m M] [--gib G] [--batch B] [--lanes L]\n"
         "  sweep  --scenarios [--fit F] [--period H] [--n N] [--m M]\n"
         "         [--trials T] [--horizon H] [--seed S] [--batch B] [--lanes L]\n"
-        "  serve  --trace FILE|- [--batch B] [--lanes L] [--stats]\n";
+        "  serve  --trace FILE|- [--batch B] [--lanes L] [--max-pending P]\n"
+        "         [--stats]\n";
 }
 
 int fail_usage(const tools::UsageError& e) {
@@ -154,13 +168,29 @@ int cmd_mttf(int argc, char** argv) {
   try {
     rel::LifetimeProgress progress;
     bool resumed = false;
+    std::optional<util::CheckpointStore> store;
     if (!checkpoint_path.empty()) {
-      std::ifstream in(checkpoint_path, std::ios::binary);
-      if (in) {
-        progress = rel::load_lifetime_checkpoint(in, config);
+      store.emplace(checkpoint_path);
+      // Recovery scans the rotated generations newest-first and resumes
+      // from the latest one that decodes against this config; a torn or
+      // corrupted generation is skipped, not fatal.
+      rel::LifetimeProgress candidate;
+      const auto recovered =
+          store->recover([&](std::span<const std::uint8_t> bytes) {
+            std::istringstream in(
+                std::string(reinterpret_cast<const char*>(bytes.data()),
+                            bytes.size()),
+                std::ios::binary);
+            candidate = rel::load_lifetime_checkpoint(in, config);
+            return true;
+          });
+      if (recovered.has_value()) {
+        progress = candidate;
         resumed = true;
         std::cout << "resumed checkpoint: " << progress.trials_done << '/'
-                  << config.trials << " trials done\n";
+                  << config.trials << " trials done (generation "
+                  << recovered->generation << ", " << recovered->rejected
+                  << " rejected)\n";
       }
     }
     if (!resumed) {
@@ -169,13 +199,19 @@ int cmd_mttf(int argc, char** argv) {
     }
     while (!rel::lifetime_complete(config, progress)) {
       rel::advance_lifetime(config, progress, chunk);
-      if (!checkpoint_path.empty()) {
-        std::ofstream out(checkpoint_path,
-                          std::ios::binary | std::ios::trunc);
+      if (store.has_value()) {
+        std::ostringstream out(std::ios::binary);
         rel::save_lifetime_checkpoint(out, config, progress);
-        if (!out) {
+        const std::string blob = out.str();
+        try {
+          // Atomic temp + fsync + rename into the rotated generations;
+          // transient failures retry with backoff inside save().
+          store->save(std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(blob.data()),
+              blob.size()));
+        } catch (const util::chaos::IoError& e) {
           std::cerr << "pimecc: cannot write checkpoint '" << checkpoint_path
-                    << "'\n";
+                    << "': " << e.what() << '\n';
           return 1;
         }
       }
@@ -347,6 +383,9 @@ int cmd_serve(int argc, char** argv) {
     } else if (arg == "--lanes") {
       server_config.lanes =
           tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
+    } else if (arg == "--max-pending") {
+      server_config.max_pending =
+          tools::flag_size(arg, tools::flag_value(argc, argv, i, arg));
     } else if (arg == "--stats") {
       print_stats = true;
     } else {
@@ -367,32 +406,67 @@ int cmd_serve(int argc, char** argv) {
   }
   std::istream& in = trace_path == "-" ? std::cin : file;
 
+  // Graceful shutdown: SIGINT/SIGTERM stop admission, already-served work
+  // still gets its response lines, queued-but-unserved tickets are
+  // reported as cancelled.
+  g_stop_requested = 0;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
   // The daemon loop: admit requests, serve a batch whenever max_batch are
-  // pending (or the trace ends), answer in submission order.
+  // pending (or the trace ends), answer in submission order.  A line that
+  // cannot be parsed or admitted gets an immediate error line in its slot
+  // (sentinel ticket), so the transcript stays one line per request.
   serve::Server server(server_config);
+  constexpr std::uint64_t kNoTicket = ~std::uint64_t{0};
   std::vector<std::uint64_t> tickets;
-  std::vector<std::string> parse_errors;  // aligned with tickets via sentinel
+  std::vector<std::string> early_lines;  // aligned with tickets via sentinel
   std::string line;
-  while (std::getline(in, line)) {
+  while (g_stop_requested == 0 && std::getline(in, line)) {
     serve::Request request;
     std::string error;
     if (serve::parse_request(line, request, error)) {
-      tickets.push_back(server.submit(std::move(request)));
-      parse_errors.emplace_back();
-      if (server.pending() >= server_config.max_batch) server.drain_once();
+      const serve::RequestKind kind = request.kind;
+      serve::Admission admission = server.try_submit(std::move(request));
+      if (admission.admitted) {
+        tickets.push_back(admission.ticket);
+        early_lines.emplace_back();
+        if (server.pending() >= server_config.max_batch) server.drain_once();
+      } else {
+        // Backpressure: the rejection is itself the response.
+        serve::Response rejected;
+        rejected.kind = kind;
+        rejected.code = admission.code;
+        rejected.error = admission.message;
+        tickets.push_back(kNoTicket);
+        early_lines.push_back(serve::format_response(rejected));
+      }
     } else if (!error.empty()) {
-      tickets.push_back(~std::uint64_t{0});
-      parse_errors.push_back(std::move(error));
+      // No request kind to report: the line never parsed.
+      tickets.push_back(kNoTicket);
+      early_lines.push_back("error kind=parse code=invalid_argument message=\"" +
+                            error + '"');
     }
   }
-  server.drain();
-  server.close();
+  std::size_t cancelled = 0;
+  if (g_stop_requested != 0) {
+    // Stop admitting and fail the queued remainder; whatever a drain has
+    // already published still reaches the transcript below.
+    cancelled = server.shutdown();
+  } else {
+    server.drain();
+    server.close();
+  }
   for (std::size_t i = 0; i < tickets.size(); ++i) {
-    if (tickets[i] == ~std::uint64_t{0}) {
-      std::cout << "error kind=parse message=\"" << parse_errors[i] << "\"\n";
+    if (tickets[i] == kNoTicket) {
+      std::cout << early_lines[i] << '\n';
     } else {
       std::cout << serve::format_response(server.take(tickets[i])) << '\n';
     }
+  }
+  if (g_stop_requested != 0) {
+    std::cerr << "pimecc: serve interrupted: " << cancelled
+              << " queued request(s) cancelled\n";
   }
   if (print_stats) {
     const serve::RegistryStats stats = server.registry().stats();
